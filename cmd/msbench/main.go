@@ -1,0 +1,165 @@
+// Command msbench measures the building blocks of MorphStore-Go in
+// isolation: per-format compression rate and (de)compression speed on the
+// Table 1 columns, SWAR kernel throughput, and morphing bandwidth. It is the
+// micro counterpart of cmd/msrepro's figure-level experiments and mirrors
+// the evaluation axes of the authors' earlier compression survey (§2.1:
+// compression rate vs compression speed vs decompression speed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"morphstore/internal/bitutil"
+	"morphstore/internal/columns"
+	"morphstore/internal/costmodel"
+	"morphstore/internal/datagen"
+	"morphstore/internal/formats"
+	"morphstore/internal/morph"
+	"morphstore/internal/ops"
+	"morphstore/internal/stats"
+	"morphstore/internal/vector"
+)
+
+func main() {
+	n := flag.Int("n", 1<<22, "column size in elements")
+	seed := flag.Int64("seed", 42, "generator seed")
+	repeats := flag.Int("repeats", 3, "repetitions (minimum reported)")
+	flag.Parse()
+
+	if err := run(*n, *seed, *repeats); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(n int, seed int64, repeats int) error {
+	fmt.Printf("codec micro-benchmarks, n=%d elements (%.0f MiB uncompressed)\n\n", n, float64(n*8)/(1<<20))
+
+	for _, id := range datagen.All {
+		vals := datagen.Generate(id, n, seed)
+		fmt.Printf("-- column %v --\n", id)
+		fmt.Printf("%-14s %10s %14s %14s %12s\n", "format", "rate", "compr [GB/s]", "decompr[GB/s]", "est. err")
+		prof := costmodelProfile(vals)
+		for _, desc := range formats.AllDescs() {
+			var col *columns.Column
+			ct, err := minTime(repeats, func() error {
+				var e error
+				col, e = formats.Compress(vals, desc)
+				return e
+			})
+			if err != nil {
+				return err
+			}
+			codec, err := formats.Get(desc.Kind)
+			if err != nil {
+				return err
+			}
+			dst := make([]uint64, n)
+			dt, err := minTime(repeats, func() error { return codec.Decompress(dst, col) })
+			if err != nil {
+				return err
+			}
+			est, err := costmodel.EstimateBytes(prof, desc)
+			if err != nil {
+				return err
+			}
+			rate := float64(col.PhysicalBytes()) / float64(n*8)
+			errPct := 100 * (float64(est)/float64(col.PhysicalBytes()) - 1)
+			fmt.Printf("%-14v %9.1f%% %14.2f %14.2f %+11.1f%%\n",
+				desc, 100*rate, gbps(n, ct), gbps(n, dt), errPct)
+		}
+		fmt.Println()
+	}
+
+	// SWAR kernels vs scalar loops.
+	fmt.Println("-- SWAR kernels (8-bit fields) vs element-at-a-time --")
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(i) % 251
+	}
+	col, err := formats.Compress(vals, columns.StaticBPDesc(8))
+	if err != nil {
+		return err
+	}
+	td, err := minTime(repeats, func() error {
+		_, err := ops.SumStaticBPDirect(col)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	tg, err := minTime(repeats, func() error {
+		_, _, err := ops.SumWhole(col, vector.Vec512)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sum on packed words (SWAR): %8.2f GB/s\n", gbps(n, td))
+	fmt.Printf("sum via de/re-compression:  %8.2f GB/s\n", gbps(n, tg))
+
+	ts, err := minTime(repeats, func() error {
+		_, err := ops.SelectStaticBPDirect(col, bitutil.CmpLt, 16, columns.DeltaBPDesc)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	to, err := minTime(repeats, func() error {
+		_, err := ops.Select(col, bitutil.CmpLt, 16, columns.DeltaBPDesc, vector.Vec512)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("select on packed words:     %8.2f GB/s\n", gbps(n, ts))
+	fmt.Printf("select via de/re-compr.:    %8.2f GB/s\n", gbps(n, to))
+
+	// Morphing bandwidth.
+	fmt.Println("\n-- morphing (DynBP -> StaticBP) --")
+	src, err := formats.Compress(datagen.Generate(datagen.C1, n, seed), columns.DynBPDesc)
+	if err != nil {
+		return err
+	}
+	tm, err := minTime(repeats, func() error {
+		_, err := morph.Morph(src, columns.StaticBPDesc(0))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	tg2, err := minTime(repeats, func() error {
+		_, err := morph.Generic(src, columns.StaticBPDesc(0))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("direct morph:     %8.2f GB/s\n", gbps(n, tm))
+	fmt.Printf("generic blockwise:%8.2f GB/s\n", gbps(n, tg2))
+	return nil
+}
+
+func costmodelProfile(vals []uint64) *stats.Profile {
+	return stats.Collect(vals)
+}
+
+func minTime(repeats int, f func() error) (time.Duration, error) {
+	var best time.Duration
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); i == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func gbps(n int, d time.Duration) float64 {
+	return float64(n*8) / d.Seconds() / 1e9
+}

@@ -1,0 +1,234 @@
+// Package bitutil provides the bit-level kernels underlying every
+// null-suppression (NS) compression format in MorphStore-Go: tight bit
+// packing of 64-bit integers at arbitrary widths, random access into packed
+// words, and SWAR (SIMD-within-a-register) primitives that process several
+// packed fields per 64-bit word in parallel.
+//
+// Packing layout: values are stored LSB-first in a contiguous stream of
+// 64-bit words. Value i occupies bit positions [i*bits, (i+1)*bits) of the
+// stream; fields may straddle word boundaries. A convenient consequence is
+// that 64 values of width b occupy exactly b words.
+//go:generate go run ./gen
+
+package bitutil
+
+import "math/bits"
+
+// Mask returns a mask with the low b bits set. b must be in [0, 64].
+func Mask(b uint) uint64 {
+	if b >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << b) - 1
+}
+
+// MaxBits returns the effective bit width of the largest value in vals,
+// i.e. the smallest b such that every value fits in b bits. The width of an
+// empty or all-zero slice is 0.
+func MaxBits(vals []uint64) uint {
+	var acc uint64
+	for _, v := range vals {
+		acc |= v
+	}
+	return uint(bits.Len64(acc))
+}
+
+// EffectiveBits returns the effective bit width of a single value.
+func EffectiveBits(v uint64) uint { return uint(bits.Len64(v)) }
+
+// PackedWords returns the number of 64-bit words required to store n values
+// at the given width.
+func PackedWords(n int, width uint) int {
+	if width == 0 || n <= 0 {
+		return 0
+	}
+	return int((uint64(n)*uint64(width) + 63) / 64)
+}
+
+// PackedBytes returns the number of bytes required to store n values at the
+// given width, rounded up to whole 64-bit words.
+func PackedBytes(n int, width uint) int { return PackedWords(n, width) * 8 }
+
+// Pack packs all values of src at the given width into dst, LSB-first.
+// dst must have at least PackedWords(len(src), width) entries and is not
+// zeroed beyond the words written. Values wider than width are truncated to
+// their low width bits. width must be in [0, 64].
+func Pack(dst []uint64, src []uint64, width uint) {
+	if width == 0 {
+		return
+	}
+	if width == 64 {
+		copy(dst, src)
+		return
+	}
+	// Unrolled per-width kernels handle whole groups of 64 values.
+	if f := pack64[width]; f != nil {
+		i, w := 0, 0
+		for ; i+64 <= len(src); i, w = i+64, w+int(width) {
+			f(src[i:i+64], dst[w:])
+		}
+		src = src[i:]
+		dst = dst[w:]
+		if len(src) == 0 {
+			return
+		}
+	}
+	m := Mask(width)
+	var acc uint64
+	var used uint
+	w := 0
+	for _, v := range src {
+		v &= m
+		acc |= v << used
+		used += width
+		if used >= 64 {
+			dst[w] = acc
+			w++
+			used -= 64
+			if used > 0 {
+				acc = v >> (width - used)
+			} else {
+				acc = 0
+			}
+		}
+	}
+	if used > 0 {
+		dst[w] = acc
+	}
+}
+
+// Unpack unpacks len(dst) values of the given width from src into dst.
+// src must contain at least PackedWords(len(dst), width) words.
+func Unpack(dst []uint64, src []uint64, width uint) {
+	if width == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if width == 64 {
+		copy(dst, src)
+		return
+	}
+	// Unrolled per-width kernels handle whole groups of 64 values.
+	if f := unpack64[width]; f != nil {
+		i, w := 0, 0
+		for ; i+64 <= len(dst); i, w = i+64, w+int(width) {
+			f(src[w:], dst[i:i+64])
+		}
+		dst = dst[i:]
+		src = src[w:]
+		if len(dst) == 0 {
+			return
+		}
+	}
+	if 64%width == 0 {
+		unpackAligned(dst, src, width)
+		return
+	}
+	m := Mask(width)
+	var bitpos uint
+	w := 0
+	for i := range dst {
+		v := src[w] >> bitpos
+		if rem := 64 - bitpos; rem < width {
+			v |= src[w+1] << rem
+		}
+		dst[i] = v & m
+		bitpos += width
+		if bitpos >= 64 {
+			bitpos -= 64
+			w++
+		}
+	}
+}
+
+// unpackAligned handles widths that divide 64: fields never straddle words,
+// which permits a branch-free inner loop over whole words.
+func unpackAligned(dst []uint64, src []uint64, width uint) {
+	m := Mask(width)
+	per := int(64 / width)
+	i := 0
+	n := len(dst)
+	for w := 0; i+per <= n; w++ {
+		v := src[w]
+		for l := 0; l < per; l++ {
+			dst[i+l] = v & m
+			v >>= width
+		}
+		i += per
+	}
+	if i < n {
+		v := src[(i*int(width))/64]
+		for ; i < n; i++ {
+			dst[i] = v & m
+			v >>= width
+		}
+	}
+}
+
+// UnpackGroup decodes the g-th group of 64 consecutive values from the
+// packed word stream into dst. Groups are the natural decode unit of the
+// packing layout (64 values of width w occupy exactly w words), which makes
+// group-cached access to sorted position sequences nearly sequential-speed.
+// The stream must contain all 64 values of the group.
+func UnpackGroup(dst *[64]uint64, words []uint64, g int, width uint) {
+	switch {
+	case width == 0:
+		*dst = [64]uint64{}
+	case width == 64:
+		copy(dst[:], words[g*64:])
+	default:
+		if f := unpack64[width]; f != nil {
+			f(words[g*int(width):], dst[:])
+			return
+		}
+		Unpack(dst[:], words[g*int(width):], width)
+	}
+}
+
+// Get returns the i-th value of width bits from the packed word stream.
+// This is the random-access primitive used by the static bit-packing format.
+func Get(words []uint64, i int, width uint) uint64 {
+	if width == 0 {
+		return 0
+	}
+	if width == 64 {
+		return words[i]
+	}
+	bitpos := uint64(i) * uint64(width)
+	w := bitpos >> 6
+	off := uint(bitpos & 63)
+	v := words[w] >> off
+	if rem := 64 - off; rem < width {
+		v |= words[w+1] << rem
+	}
+	return v & Mask(width)
+}
+
+// Set writes value v at position i of the packed word stream. The target
+// field must currently be zero (Set is append-oriented; it ORs bits in).
+func Set(words []uint64, i int, width uint, v uint64) {
+	if width == 0 {
+		return
+	}
+	if width == 64 {
+		words[i] = v
+		return
+	}
+	v &= Mask(width)
+	bitpos := uint64(i) * uint64(width)
+	w := bitpos >> 6
+	off := uint(bitpos & 63)
+	words[w] |= v << off
+	if rem := 64 - off; rem < width {
+		words[w+1] |= v >> rem
+	}
+}
+
+// ZigZag encodes a signed delta as an unsigned integer with small magnitude
+// for small absolute deltas: 0,-1,1,-2,2 ... -> 0,1,2,3,4 ...
+func ZigZag(d int64) uint64 { return uint64((d << 1) ^ (d >> 63)) }
+
+// UnZigZag reverses ZigZag.
+func UnZigZag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

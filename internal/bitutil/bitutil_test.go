@@ -1,0 +1,316 @@
+package bitutil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMask(t *testing.T) {
+	if Mask(0) != 0 {
+		t.Errorf("Mask(0) = %x, want 0", Mask(0))
+	}
+	if Mask(1) != 1 {
+		t.Errorf("Mask(1) = %x, want 1", Mask(1))
+	}
+	if Mask(64) != ^uint64(0) {
+		t.Errorf("Mask(64) = %x, want all ones", Mask(64))
+	}
+	if Mask(63) != ^uint64(0)>>1 {
+		t.Errorf("Mask(63) = %x", Mask(63))
+	}
+}
+
+func TestMaxBits(t *testing.T) {
+	cases := []struct {
+		vals []uint64
+		want uint
+	}{
+		{nil, 0},
+		{[]uint64{0, 0, 0}, 0},
+		{[]uint64{1}, 1},
+		{[]uint64{63}, 6},
+		{[]uint64{64}, 7},
+		{[]uint64{1 << 62}, 63},
+		{[]uint64{^uint64(0)}, 64},
+		{[]uint64{5, 9, 2}, 4},
+	}
+	for _, c := range cases {
+		if got := MaxBits(c.vals); got != c.want {
+			t.Errorf("MaxBits(%v) = %d, want %d", c.vals, got, c.want)
+		}
+	}
+}
+
+func TestPackedWords(t *testing.T) {
+	cases := []struct {
+		n     int
+		width uint
+		want  int
+	}{
+		{0, 13, 0},
+		{10, 0, 0},
+		{64, 1, 1},
+		{65, 1, 2},
+		{64, 13, 13},
+		{512, 6, 48},
+		{1, 64, 1},
+		{3, 63, 3},
+	}
+	for _, c := range cases {
+		if got := PackedWords(c.n, c.width); got != c.want {
+			t.Errorf("PackedWords(%d,%d) = %d, want %d", c.n, c.width, got, c.want)
+		}
+	}
+}
+
+func roundTrip(t *testing.T, src []uint64, width uint) {
+	t.Helper()
+	dst := make([]uint64, PackedWords(len(src), width))
+	Pack(dst, src, width)
+	got := make([]uint64, len(src))
+	Unpack(got, dst, width)
+	m := Mask(width)
+	for i := range src {
+		if got[i] != src[i]&m {
+			t.Fatalf("width %d: elem %d = %x, want %x", width, i, got[i], src[i]&m)
+		}
+	}
+	// Random access must agree as well.
+	for _, i := range []int{0, len(src) / 3, len(src) - 1} {
+		if len(src) == 0 {
+			break
+		}
+		if g := Get(dst, i, width); g != src[i]&m {
+			t.Fatalf("width %d: Get(%d) = %x, want %x", width, i, g, src[i]&m)
+		}
+	}
+}
+
+func TestPackUnpackAllWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for width := uint(1); width <= 64; width++ {
+		for _, n := range []int{1, 7, 63, 64, 65, 512, 1000} {
+			src := make([]uint64, n)
+			for i := range src {
+				src[i] = rng.Uint64() & Mask(width)
+			}
+			roundTrip(t, src, width)
+		}
+	}
+}
+
+func TestPackUnpackZeroWidth(t *testing.T) {
+	dst := []uint64{123, 456}
+	Unpack(dst, nil, 0)
+	for i, v := range dst {
+		if v != 0 {
+			t.Errorf("elem %d = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	for _, width := range []uint{3, 8, 13, 21, 33, 64} {
+		n := 200
+		words := make([]uint64, PackedWords(n, width))
+		rng := rand.New(rand.NewSource(int64(width)))
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64() & Mask(width)
+			Set(words, i, width, vals[i])
+		}
+		for i := range vals {
+			if g := Get(words, i, width); g != vals[i] {
+				t.Fatalf("width %d: Get(%d) = %x, want %x", width, i, g, vals[i])
+			}
+		}
+	}
+}
+
+func TestZigZag(t *testing.T) {
+	cases := []struct {
+		d int64
+		u uint64
+	}{
+		{0, 0}, {-1, 1}, {1, 2}, {-2, 3}, {2, 4}, {1 << 40, 1 << 41},
+	}
+	for _, c := range cases {
+		if got := ZigZag(c.d); got != c.u {
+			t.Errorf("ZigZag(%d) = %d, want %d", c.d, got, c.u)
+		}
+		if got := UnZigZag(c.u); got != c.d {
+			t.Errorf("UnZigZag(%d) = %d, want %d", c.u, got, c.d)
+		}
+	}
+}
+
+func TestZigZagProperty(t *testing.T) {
+	f := func(d int64) bool { return UnZigZag(ZigZag(d)) == d }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: packing then unpacking preserves values at any width.
+func TestPackRoundTripProperty(t *testing.T) {
+	f := func(raw []uint64, w8 uint8) bool {
+		width := uint(w8%64) + 1
+		src := make([]uint64, len(raw))
+		m := Mask(width)
+		for i, v := range raw {
+			src[i] = v & m
+		}
+		dst := make([]uint64, PackedWords(len(src), width))
+		Pack(dst, src, width)
+		got := make([]uint64, len(src))
+		Unpack(got, dst, width)
+		for i := range src {
+			if got[i] != src[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	if got := Broadcast(0x3, 2); got != ^uint64(0)&0xFFFFFFFFFFFFFFFF {
+		// 0b11 replicated 32 times = all ones
+		if got != ^uint64(0) {
+			t.Errorf("Broadcast(3,2) = %x", got)
+		}
+	}
+	if got := Broadcast(1, 8); got != 0x0101010101010101 {
+		t.Errorf("Broadcast(1,8) = %x", got)
+	}
+	if got := Broadcast(0xAB, 16); got != 0x00AB00AB00AB00AB {
+		t.Errorf("Broadcast(0xAB,16) = %x", got)
+	}
+}
+
+func TestCmpPackedWordExhaustiveSmallWidths(t *testing.T) {
+	ops := []CmpKind{CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe}
+	rng := rand.New(rand.NewSource(7))
+	for _, b := range []uint{1, 2, 4, 8, 16, 32} {
+		per := int(64 / b)
+		for trial := 0; trial < 200; trial++ {
+			fields := make([]uint64, per)
+			var word uint64
+			for i := range fields {
+				fields[i] = rng.Uint64() & Mask(b)
+				word |= fields[i] << (uint(i) * b)
+			}
+			pred := rng.Uint64() & Mask(b)
+			yb := Broadcast(pred, b)
+			for _, op := range ops {
+				got := CmpPackedWord(word, yb, b, op)
+				var want uint64
+				for i, f := range fields {
+					if op.Eval(f, pred) {
+						want |= 1 << uint(i)
+					}
+				}
+				if got != want {
+					t.Fatalf("b=%d op=%v word=%x pred=%x: got mask %b, want %b",
+						b, op, word, pred, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCmpPackedWordBoundaryValues(t *testing.T) {
+	// All-zero, all-max and predicate at extremes.
+	for _, b := range []uint{1, 2, 4, 8, 16, 32} {
+		per := int(64 / b)
+		maxv := Mask(b)
+		for _, fv := range []uint64{0, maxv} {
+			var word uint64
+			for i := 0; i < per; i++ {
+				word |= fv << (uint(i) * b)
+			}
+			for _, pred := range []uint64{0, maxv} {
+				yb := Broadcast(pred, b)
+				for _, op := range []CmpKind{CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe} {
+					got := CmpPackedWord(word, yb, b, op)
+					var want uint64
+					for i := 0; i < per; i++ {
+						if op.Eval(fv, pred) {
+							want |= 1 << uint(i)
+						}
+					}
+					if got != want {
+						t.Fatalf("b=%d op=%v f=%x pred=%x: got %b want %b", b, op, fv, pred, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSumPackedWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, b := range []uint{1, 2, 4, 8, 16, 32, 6, 13, 40} {
+		for _, n := range []int{0, 1, 64, 100, 4096} {
+			src := make([]uint64, n)
+			var want uint64
+			for i := range src {
+				src[i] = rng.Uint64() & Mask(b)
+				want += src[i]
+			}
+			words := make([]uint64, PackedWords(n, b))
+			Pack(words, src, b)
+			if got := SumPackedWords(words, n, b); got != want {
+				t.Fatalf("b=%d n=%d: sum = %d, want %d", b, n, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkUnpackWidth6(b *testing.B) {
+	benchUnpack(b, 6)
+}
+
+func BenchmarkUnpackWidth13(b *testing.B) {
+	benchUnpack(b, 13)
+}
+
+func BenchmarkUnpackWidth32(b *testing.B) {
+	benchUnpack(b, 32)
+}
+
+func benchUnpack(b *testing.B, width uint) {
+	n := 1 << 16
+	src := make([]uint64, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range src {
+		src[i] = rng.Uint64() & Mask(width)
+	}
+	packed := make([]uint64, PackedWords(n, width))
+	Pack(packed, src, width)
+	dst := make([]uint64, n)
+	b.SetBytes(int64(n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Unpack(dst, packed, width)
+	}
+}
+
+func BenchmarkSwarSumWidth8(b *testing.B) {
+	n := 1 << 16
+	src := make([]uint64, n)
+	for i := range src {
+		src[i] = uint64(i) & 0xFF
+	}
+	words := make([]uint64, PackedWords(n, 8))
+	Pack(words, src, 8)
+	b.SetBytes(int64(n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SumPackedWords(words, n, 8)
+	}
+}

@@ -1,0 +1,211 @@
+// SWAR (SIMD within a register) primitives: exact field-parallel comparison
+// and summation over bit-packed 64-bit words, for field widths that divide 64.
+//
+// These kernels are the pure-Go substitute for the AVX-512 bit-parallel scan
+// instructions the original C++ MorphStore uses (cf. BitWeaving, SIMD-Scan):
+// several packed fields are compared against a predicate constant with a
+// handful of word-level instructions instead of one comparison per field.
+//
+// Exactness is obtained with the even/odd split: fields are isolated into
+// windows of width 2*b (the neighbour field zeroed), so carries and borrows
+// of the window-local arithmetic can never cross into the next field:
+//
+//   - non-zero test: f + (2^(2b-1)-1) sets the window's top bit iff f != 0,
+//     because f < 2^b <= 2^(2b-1).
+//   - x >= y test: (x | 2^(2b-1)) - y keeps the window's top bit iff x >= y.
+package bitutil
+
+import "math/bits"
+
+// SwarWidthOK reports whether the SWAR kernels support field width b.
+// Supported widths divide 64 and leave at least two fields per word.
+func SwarWidthOK(b uint) bool {
+	return b > 0 && b <= 32 && 64%b == 0
+}
+
+// swarMasks returns (evenMask, testMask) for width b: evenMask selects
+// fields 0,2,4,... (each field viewed in a 2b-wide window), testMask has the
+// top bit of every 2b window set.
+func swarMasks(b uint) (even uint64, test uint64) {
+	w := 2 * b
+	for off := uint(0); off < 64; off += w {
+		even |= Mask(b) << off
+		test |= uint64(1) << (off + w - 1)
+	}
+	return even, test
+}
+
+// Broadcast replicates the low b bits of v into every b-wide field of a word.
+func Broadcast(v uint64, b uint) uint64 {
+	v &= Mask(b)
+	if b == 0 {
+		return 0
+	}
+	var out uint64
+	for off := uint(0); off < 64; off += b {
+		out |= v << off
+	}
+	return out
+}
+
+// CmpKind enumerates the comparison operators shared by the scan kernels.
+type CmpKind uint8
+
+const (
+	CmpEq CmpKind = iota // field == constant
+	CmpNe                // field != constant
+	CmpLt                // field <  constant
+	CmpLe                // field <= constant
+	CmpGt                // field >  constant
+	CmpGe                // field >= constant
+)
+
+func (c CmpKind) String() string {
+	switch c {
+	case CmpEq:
+		return "=="
+	case CmpNe:
+		return "!="
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Eval applies the comparison to a pair of scalars.
+func (c CmpKind) Eval(x, y uint64) bool {
+	switch c {
+	case CmpEq:
+		return x == y
+	case CmpNe:
+		return x != y
+	case CmpLt:
+		return x < y
+	case CmpLe:
+		return x <= y
+	case CmpGt:
+		return x > y
+	case CmpGe:
+		return x >= y
+	default:
+		return false
+	}
+}
+
+// nonZeroHalf returns, for fields isolated in 2b windows (top half of each
+// window zero), the window-top bits set iff the window's field is non-zero.
+func nonZeroHalf(x, test uint64, w uint) uint64 {
+	addend := test - (test >> (w - 1)) // 2^(w-1)-1 in every window
+	return (x + addend) & test
+}
+
+// geHalf returns, for x and y fields isolated in 2b windows, window-top bits
+// set iff x >= y in that window.
+func geHalf(x, y, test uint64) uint64 {
+	return ((x | test) - y) & test
+}
+
+// compactTestBits maps window-top bits (positions w-1, 2w-1, ...) to even
+// field indices: window i becomes bit 2i of the result.
+func compactTestBits(t uint64, w uint) uint64 {
+	var out uint64
+	for ; t != 0; t &= t - 1 {
+		win := uint(bits.TrailingZeros64(t)) / w
+		out |= uint64(1) << (2 * win)
+	}
+	return out
+}
+
+// CmpPackedWord compares every b-wide field of word x against the broadcast
+// predicate pattern yb (built with Broadcast(v, b)) and returns a bitmask
+// with bit i set iff field i satisfies the comparison. b must satisfy
+// SwarWidthOK. The result has 64/b meaningful bits.
+func CmpPackedWord(x uint64, yb uint64, b uint, op CmpKind) uint64 {
+	even, test := swarMasks(b)
+	odd := even << b
+	w := 2 * b
+
+	xe, ye := x&even, yb&even
+	xo, yo := (x&odd)>>b, (yb&odd)>>b
+
+	var te, to uint64
+	switch op {
+	case CmpEq:
+		te = ^nonZeroHalf(xe^ye, test, w) & test
+		to = ^nonZeroHalf(xo^yo, test, w) & test
+	case CmpNe:
+		te = nonZeroHalf(xe^ye, test, w)
+		to = nonZeroHalf(xo^yo, test, w)
+	case CmpGe:
+		te = geHalf(xe, ye, test)
+		to = geHalf(xo, yo, test)
+	case CmpLt:
+		te = ^geHalf(xe, ye, test) & test
+		to = ^geHalf(xo, yo, test) & test
+	case CmpGt: // x > y  <=>  !(y >= x)
+		te = ^geHalf(ye, xe, test) & test
+		to = ^geHalf(yo, xo, test) & test
+	case CmpLe: // x <= y  <=>  y >= x
+		te = geHalf(ye, xe, test)
+		to = geHalf(yo, xo, test)
+	}
+
+	return compactTestBits(te, w) | compactTestBits(to, w)<<1
+}
+
+// SumPackedWords sums every b-wide field across the packed words using
+// window-parallel accumulation. n is the total number of fields represented;
+// unused fields of the final partial word must be zero (true for all
+// MorphStore packed buffers, which zero-initialize their words).
+func SumPackedWords(words []uint64, n int, b uint) uint64 {
+	if b == 0 || n == 0 {
+		return 0
+	}
+	if !SwarWidthOK(b) {
+		var s uint64
+		for i := 0; i < n; i++ {
+			s += Get(words, i, b)
+		}
+		return s
+	}
+	even, _ := swarMasks(b)
+	odd := even << b
+	w := 2 * b
+
+	// Each 2b window accumulates values < 2^b; capacity 2^(2b)-1 allows at
+	// least 2^b safe additions before a fold is required.
+	safe := 1 << b
+	if safe > 1<<20 {
+		safe = 1 << 20
+	}
+
+	var total uint64
+	var accE, accO uint64
+	pending := 0
+	m := Mask(w)
+	fold := func() {
+		for off := uint(0); off < 64; off += w {
+			total += (accE >> off) & m
+			total += (accO >> off) & m
+		}
+		accE, accO = 0, 0
+		pending = 0
+	}
+	for _, x := range words {
+		accE += x & even
+		accO += (x & odd) >> b
+		pending++
+		if pending >= safe {
+			fold()
+		}
+	}
+	fold()
+	return total
+}

@@ -1,0 +1,98 @@
+package columns
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFromValues(t *testing.T) {
+	vals := []uint64{1, 2, 3}
+	c := FromValues(vals)
+	if c.N() != 3 || c.MainElems() != 3 {
+		t.Fatalf("extents: %v", c)
+	}
+	if got, ok := c.Values(); !ok || len(got) != 3 {
+		t.Fatalf("Values = %v, %v", got, ok)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.PhysicalBytes() != 3*8+MetadataBytes {
+		t.Errorf("PhysicalBytes = %d", c.PhysicalBytes())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(UncomprDesc, 4, 4, 4, make([]uint64, 3)); err == nil {
+		t.Error("short buffer must fail")
+	}
+	if _, err := New(UncomprDesc, 4, 5, 4, make([]uint64, 3)); err == nil {
+		t.Error("mainElems > n must fail")
+	}
+	if _, err := New(UncomprDesc, -1, 0, 0, nil); err == nil {
+		t.Error("negative n must fail")
+	}
+	c, err := New(DynBPDesc, 600, 512, 10, make([]uint64, 98))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Remainder()) != 88 || len(c.MainWords()) != 10 {
+		t.Errorf("split: main %d rem %d", len(c.MainWords()), len(c.Remainder()))
+	}
+}
+
+func TestValuesOnCompressed(t *testing.T) {
+	c, err := New(DynBPDesc, 512, 512, 8, make([]uint64, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Values(); ok {
+		t.Error("Values must refuse on compressed column")
+	}
+}
+
+func TestCompressionRate(t *testing.T) {
+	c, err := New(StaticBPDesc(8), 64, 64, 8, make([]uint64, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.CompressionRate(); r >= 1 {
+		t.Errorf("rate = %f, want < 1", r)
+	}
+	empty := FromValues(nil)
+	if r := empty.CompressionRate(); r != 1 {
+		t.Errorf("empty rate = %f, want 1", r)
+	}
+}
+
+func TestDescString(t *testing.T) {
+	for _, d := range []FormatDesc{UncomprDesc, StaticBPDesc(13), DynBPDesc, DeltaBPDesc, ForBPDesc, RLEDesc} {
+		if d.String() == "" {
+			t.Errorf("empty string for %v", d.Kind)
+		}
+	}
+	if !strings.Contains(StaticBPDesc(13).String(), "13") {
+		t.Error("static BP string should carry the width")
+	}
+	if UncomprDesc.IsCompressed() {
+		t.Error("uncompressed must not report compressed")
+	}
+	if !DynBPDesc.IsCompressed() {
+		t.Error("dyn BP must report compressed")
+	}
+}
+
+func TestValidateBadKind(t *testing.T) {
+	c := FromValues([]uint64{1})
+	c.desc.Kind = Kind(99)
+	if err := c.Validate(); err == nil {
+		t.Error("unknown kind must fail validation")
+	}
+}
+
+func TestColumnString(t *testing.T) {
+	c := FromValues([]uint64{1, 2})
+	if s := c.String(); !strings.Contains(s, "n=2") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"morphstore/internal/costmodel"
+	"morphstore/internal/stats"
+)
+
+// CostBasedAssignment selects a format for every base column and
+// intermediate of the plan using the gray-box cost model with the
+// compression-rate (memory footprint) objective — the compression-aware
+// optimization step evaluated in Fig. 10.
+//
+// The plan is executed once uncompressed to obtain the data characteristics
+// of all intermediates (the paper assumes these are known to the optimizer);
+// the cost model then picks each column's format from its compact profile
+// without inspecting the data again.
+func CostBasedAssignment(p *Plan, db *DB) (*Assignment, error) {
+	cols, err := materializedColumns(p, db)
+	if err != nil {
+		return nil, err
+	}
+	a := NewAssignment()
+	baseSet := make(map[string]bool)
+	for _, name := range p.BaseColumns() {
+		baseSet[name] = true
+	}
+	names := append(p.BaseColumns(), p.IntermediateNames()...)
+	for _, name := range names {
+		prof := stats.Collect(cols[name])
+		desc, err := costmodel.ChooseBySize(prof, Candidates(p, name))
+		if err != nil {
+			return nil, err
+		}
+		if baseSet[name] {
+			a.Base[name] = desc
+		} else {
+			a.Inter[name] = desc
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"morphstore/internal/columns"
+	"morphstore/internal/formats"
+	"morphstore/internal/morph"
+	"morphstore/internal/ops"
+	"morphstore/internal/vector"
+)
+
+// Table is a named collection of equally long columns.
+type Table struct {
+	Name string
+	Cols map[string]*columns.Column
+}
+
+// DB is the base data a plan executes against.
+type DB struct {
+	Tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{Tables: make(map[string]*Table)} }
+
+// AddTable registers a table built from value slices (uncompressed).
+func (db *DB) AddTable(name string, cols map[string][]uint64) {
+	t := &Table{Name: name, Cols: make(map[string]*columns.Column, len(cols))}
+	for cn, vals := range cols {
+		t.Cols[cn] = columns.FromValues(vals)
+	}
+	db.Tables[name] = t
+}
+
+// Column resolves "table"/"column"; it reports an error for unknown names.
+func (db *DB) Column(table, column string) (*columns.Column, error) {
+	t, ok := db.Tables[table]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown table %q", table)
+	}
+	c, ok := t.Cols[column]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown column %q.%q", table, column)
+	}
+	return c, nil
+}
+
+// Encode returns a copy of the database with the listed base columns
+// morphed into the requested formats (untouched columns are shared). Base
+// data encoding is storage preparation and deliberately not part of any
+// query runtime measurement.
+func (db *DB) Encode(base map[string]columns.FormatDesc) (*DB, error) {
+	out := NewDB()
+	for tn, t := range db.Tables {
+		nt := &Table{Name: tn, Cols: make(map[string]*columns.Column, len(t.Cols))}
+		for cn, col := range t.Cols {
+			desc, ok := base[tn+"."+cn]
+			if !ok {
+				nt.Cols[cn] = col
+				continue
+			}
+			m, err := morph.Morph(col, desc)
+			if err != nil {
+				return nil, fmt.Errorf("core: encode %s.%s: %w", tn, cn, err)
+			}
+			nt.Cols[cn] = m
+		}
+		out.Tables[tn] = nt
+	}
+	return out, nil
+}
+
+// Config assigns a compressed format to every column of a query execution
+// plan (DP2: each intermediate chosen independently). Missing entries mean
+// uncompressed. Result columns are always uncompressed.
+type Config struct {
+	// Inter maps intermediate column names to formats.
+	Inter map[string]columns.FormatDesc
+	// Style selects the processing-style specialization of all kernels.
+	Style vector.Style
+	// Specialized enables the specialized-operator integration degree for
+	// formats that have one (§3.3: employ them selectively).
+	Specialized bool
+	// AutoMorph permits the executor to insert on-the-fly morphs when an
+	// operator needs random access to a column whose format does not
+	// support it. When false such plans fail (strict consistency, §3.3).
+	AutoMorph bool
+	// Keep retains all intermediate columns in the result (used by the
+	// format-search and cost-model tooling).
+	Keep bool
+}
+
+// UncompressedConfig returns a config processing everything uncompressed.
+func UncompressedConfig(style vector.Style) *Config {
+	return &Config{Inter: map[string]columns.FormatDesc{}, Style: style}
+}
+
+// UniformConfig returns a config assigning desc to every intermediate of p
+// (respecting the random-access restriction, for which static BP is used).
+func UniformConfig(p *Plan, desc columns.FormatDesc, style vector.Style) *Config {
+	cfg := &Config{Inter: map[string]columns.FormatDesc{}, Style: style}
+	for _, name := range p.IntermediateNames() {
+		d := desc
+		if p.RandomAccessed(name) && !formats.HasRandomAccess(d.Kind) {
+			d = columns.StaticBPDesc(0)
+		}
+		cfg.Inter[name] = d
+	}
+	return cfg
+}
+
+// interDesc resolves the configured format of an intermediate.
+func (c *Config) interDesc(name string) columns.FormatDesc {
+	if d, ok := c.Inter[name]; ok {
+		return d
+	}
+	return columns.UncomprDesc
+}
+
+// Measure aggregates the physical footprint and runtime of one execution,
+// mirroring the paper's two evaluation metrics.
+type Measure struct {
+	// BaseBytes is the physical size of all distinct base columns scanned.
+	BaseBytes int
+	// InterBytes is the physical size of all materialized intermediates
+	// (including result columns).
+	InterBytes int
+	// Runtime is the total operator time (base encoding excluded).
+	Runtime time.Duration
+	// PerOp records the runtime per operator kind.
+	PerOp map[string]time.Duration
+	// ColBytes records the physical size per column name.
+	ColBytes map[string]int
+}
+
+// Footprint is the total memory footprint: base data plus intermediates.
+func (m *Measure) Footprint() int { return m.BaseBytes + m.InterBytes }
+
+// Result is the outcome of executing a plan.
+type Result struct {
+	// Cols holds the result columns by name.
+	Cols map[string]*columns.Column
+	// Inter holds every materialized column by name when Config.Keep is set.
+	Inter map[string]*columns.Column
+	// Meas carries the footprint/runtime accounting.
+	Meas Measure
+}
+
+// Execute runs the plan operator-at-a-time against db under cfg.
+func Execute(p *Plan, db *DB, cfg *Config) (*Result, error) {
+	if cfg == nil {
+		cfg = UncompressedConfig(vector.Scalar)
+	}
+	sinks := p.sinkSet()
+	for name := range sinks {
+		if d, ok := cfg.Inter[name]; ok && d.Kind != columns.Uncompressed {
+			return nil, fmt.Errorf("core: result column %q must stay uncompressed, configured %v", name, d)
+		}
+	}
+	outs := make([][]*columns.Column, len(p.nodes))
+	res := &Result{
+		Cols: make(map[string]*columns.Column, len(p.sinks)),
+		Meas: Measure{
+			PerOp:    make(map[string]time.Duration),
+			ColBytes: make(map[string]int),
+		},
+	}
+	if cfg.Keep {
+		res.Inter = make(map[string]*columns.Column)
+	}
+
+	// outDesc returns the format for a node output, honouring the
+	// result-column rule and the random-access restriction.
+	outDesc := func(name string) (columns.FormatDesc, error) {
+		if sinks[name] {
+			if d, ok := cfg.Inter[name]; ok && d.Kind != columns.Uncompressed {
+				return columns.FormatDesc{}, fmt.Errorf("core: result column %q must stay uncompressed, configured %v", name, d)
+			}
+			return columns.UncomprDesc, nil
+		}
+		d := cfg.interDesc(name)
+		if p.RandomAccessed(name) && !formats.HasRandomAccess(d.Kind) && !cfg.AutoMorph {
+			return columns.FormatDesc{}, fmt.Errorf("core: column %q needs random access but is configured %v (enable AutoMorph or choose uncompressed/static BP)", name, d)
+		}
+		return d, nil
+	}
+
+	input := func(ref ColRef) *columns.Column { return outs[ref.node.id][ref.out] }
+
+	// randomInput fetches a project data input, inserting an on-the-fly
+	// morph to static BP if permitted and needed.
+	randomInput := func(ref ColRef) (*columns.Column, error) {
+		col := input(ref)
+		if formats.HasRandomAccess(col.Desc().Kind) {
+			return col, nil
+		}
+		if !cfg.AutoMorph {
+			return nil, fmt.Errorf("core: column %q needs random access but is %v", ref.Name(), col.Desc())
+		}
+		return morph.Morph(col, columns.StaticBPDesc(0))
+	}
+
+	for _, n := range p.nodes {
+		start := time.Now()
+		var produced []*columns.Column
+		var err error
+		switch n.op {
+		case OpScan:
+			col, cerr := db.Column(n.table, n.column)
+			if cerr != nil {
+				return nil, cerr
+			}
+			produced = []*columns.Column{col}
+		case OpSelect:
+			d, derr := outDesc(n.outNames[0])
+			if derr != nil {
+				return nil, derr
+			}
+			var c *columns.Column
+			c, err = ops.SelectAuto(input(n.inputs[0]), n.cmp, n.val, d, cfg.Style, cfg.Specialized)
+			produced = []*columns.Column{c}
+		case OpBetween:
+			d, derr := outDesc(n.outNames[0])
+			if derr != nil {
+				return nil, derr
+			}
+			var c *columns.Column
+			c, err = ops.SelectBetweenAuto(input(n.inputs[0]), n.val, n.val2, d, cfg.Style, cfg.Specialized)
+			produced = []*columns.Column{c}
+		case OpProject:
+			d, derr := outDesc(n.outNames[0])
+			if derr != nil {
+				return nil, derr
+			}
+			data, rerr := randomInput(n.inputs[0])
+			if rerr != nil {
+				return nil, rerr
+			}
+			var c *columns.Column
+			c, err = ops.Project(data, input(n.inputs[1]), d, cfg.Style)
+			produced = []*columns.Column{c}
+		case OpIntersect:
+			d, derr := outDesc(n.outNames[0])
+			if derr != nil {
+				return nil, derr
+			}
+			var c *columns.Column
+			c, err = ops.IntersectSorted(input(n.inputs[0]), input(n.inputs[1]), d)
+			produced = []*columns.Column{c}
+		case OpMerge:
+			d, derr := outDesc(n.outNames[0])
+			if derr != nil {
+				return nil, derr
+			}
+			var c *columns.Column
+			c, err = ops.MergeSorted(input(n.inputs[0]), input(n.inputs[1]), d)
+			produced = []*columns.Column{c}
+		case OpSemiJoin:
+			d, derr := outDesc(n.outNames[0])
+			if derr != nil {
+				return nil, derr
+			}
+			var c *columns.Column
+			c, err = ops.SemiJoin(input(n.inputs[0]), input(n.inputs[1]), d, cfg.Style)
+			produced = []*columns.Column{c}
+		case OpJoinN1:
+			dp, derr := outDesc(n.outNames[0])
+			if derr != nil {
+				return nil, derr
+			}
+			db2, derr := outDesc(n.outNames[1])
+			if derr != nil {
+				return nil, derr
+			}
+			var cp, cb *columns.Column
+			cp, cb, err = ops.JoinN1(input(n.inputs[0]), input(n.inputs[1]), dp, db2, cfg.Style)
+			produced = []*columns.Column{cp, cb}
+		case OpGroupFirst:
+			dg, derr := outDesc(n.outNames[0])
+			if derr != nil {
+				return nil, derr
+			}
+			de, derr := outDesc(n.outNames[1])
+			if derr != nil {
+				return nil, derr
+			}
+			var cg, ce *columns.Column
+			cg, ce, err = ops.GroupFirst(input(n.inputs[0]), dg, de, cfg.Style)
+			produced = []*columns.Column{cg, ce}
+		case OpGroupNext:
+			dg, derr := outDesc(n.outNames[0])
+			if derr != nil {
+				return nil, derr
+			}
+			de, derr := outDesc(n.outNames[1])
+			if derr != nil {
+				return nil, derr
+			}
+			var cg, ce *columns.Column
+			cg, ce, err = ops.GroupNext(input(n.inputs[0]), input(n.inputs[1]), dg, de, cfg.Style)
+			produced = []*columns.Column{cg, ce}
+		case OpSumWhole:
+			var c *columns.Column
+			_, c, err = ops.SumAuto(input(n.inputs[0]), cfg.Style, cfg.Specialized)
+			produced = []*columns.Column{c}
+		case OpSumGrouped:
+			nGroups := input(n.inputs[1]).N()
+			var c *columns.Column
+			c, err = ops.SumGrouped(input(n.inputs[0]), input(n.inputs[2]), nGroups, cfg.Style)
+			produced = []*columns.Column{c}
+		case OpCalc:
+			d, derr := outDesc(n.outNames[0])
+			if derr != nil {
+				return nil, derr
+			}
+			var c *columns.Column
+			c, err = ops.CalcBinary(n.calc, input(n.inputs[0]), input(n.inputs[1]), d, cfg.Style)
+			produced = []*columns.Column{c}
+		default:
+			return nil, fmt.Errorf("core: unknown operator %v", n.op)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: %v %q: %w", n.op, n.outNames[0], err)
+		}
+		elapsed := time.Since(start)
+		if n.op != OpScan {
+			res.Meas.Runtime += elapsed
+			res.Meas.PerOp[n.op.String()] += elapsed
+		}
+		outs[n.id] = produced
+
+		for i, col := range produced {
+			name := n.outNames[i]
+			res.Meas.ColBytes[name] = col.PhysicalBytes()
+			if n.op == OpScan {
+				res.Meas.BaseBytes += col.PhysicalBytes()
+			} else {
+				res.Meas.InterBytes += col.PhysicalBytes()
+			}
+			if cfg.Keep {
+				res.Inter[name] = col
+			}
+			if sinks[name] {
+				res.Cols[name] = col
+			}
+		}
+	}
+	return res, nil
+}

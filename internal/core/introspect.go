@@ -1,0 +1,64 @@
+package core
+
+import (
+	"morphstore/internal/bitutil"
+	"morphstore/internal/ops"
+)
+
+// InputRef addresses one output of one node by position.
+type InputRef struct {
+	// Node is the producing node's id; Out the output index.
+	Node, Out int
+}
+
+// NodeInfo is a read-only view of one plan operator. It exists so that
+// alternative engines — the MonetDB-style baseline in internal/monetsim —
+// can interpret exactly the same query execution plans, which is how the
+// paper ensures a fair comparison (same plan shape, same join order).
+type NodeInfo struct {
+	ID       int
+	Op       OpKind
+	Cmp      bitutil.CmpKind
+	Calc     ops.CalcKind
+	Val      uint64
+	Val2     uint64
+	Table    string
+	Column   string
+	Inputs   []InputRef
+	OutNames []string
+}
+
+// Nodes returns the plan's operators in topological order.
+func (p *Plan) Nodes() []NodeInfo {
+	out := make([]NodeInfo, len(p.nodes))
+	for i, n := range p.nodes {
+		ins := make([]InputRef, len(n.inputs))
+		for j, r := range n.inputs {
+			ins[j] = InputRef{Node: r.node.id, Out: r.out}
+		}
+		out[i] = NodeInfo{
+			ID: n.id, Op: n.op, Cmp: n.cmp, Calc: n.calc,
+			Val: n.val, Val2: n.val2, Table: n.table, Column: n.column,
+			Inputs: ins, OutNames: append([]string(nil), n.outNames...),
+		}
+	}
+	return out
+}
+
+// Sinks returns the result columns as (node, output) references.
+func (p *Plan) Sinks() []InputRef {
+	out := make([]InputRef, len(p.sinks))
+	for i, r := range p.sinks {
+		out[i] = InputRef{Node: r.node.id, Out: r.out}
+	}
+	return out
+}
+
+// SinkNames returns the result column names in sink order.
+func (p *Plan) SinkNames() []string {
+	out := make([]string, len(p.sinks))
+	for i, r := range p.sinks {
+		out[i] = r.Name()
+	}
+	return out
+}

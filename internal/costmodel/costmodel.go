@@ -1,0 +1,208 @@
+// Package costmodel implements the gray-box cost model for lightweight
+// integer compression that MorphStore-Go's compression-aware optimization
+// builds on (paper §5, "Determining a good format combination"; Damme et
+// al., ACM TODS 44(3), 2019): analytic per-format size estimates driven by
+// compact data characteristics (bit-width histograms, sortedness, run
+// structure), plus calibrated per-element speed estimates capturing
+// hardware-dependent behaviour.
+//
+// The model never inspects the full data; it consumes a stats.Profile, the
+// per-intermediate characteristics the paper assumes known during planning.
+package costmodel
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"morphstore/internal/columns"
+	"morphstore/internal/formats"
+	"morphstore/internal/stats"
+)
+
+// blockHeaderBytes is the per-block header size of DynBP (bits word).
+const blockHeaderBytes = 8
+
+// cascadeHeaderBytes is the per-block header size of DeltaBP/ForBP
+// (base/ref word + bits word).
+const cascadeHeaderBytes = 16
+
+// EstimateBytes returns the estimated physical size of a column with the
+// given data characteristics when stored in the given format.
+func EstimateBytes(p *stats.Profile, desc columns.FormatDesc) (int, error) {
+	n := p.N
+	meta := columns.MetadataBytes
+	if int(desc.Kind) >= columns.NumKinds {
+		return 0, fmt.Errorf("costmodel: no size model for %v", desc)
+	}
+	if n == 0 {
+		return meta, nil
+	}
+	switch desc.Kind {
+	case columns.Uncompressed:
+		return meta + 8*n, nil
+
+	case columns.StaticBP:
+		b := p.MaxBits
+		if desc.Bits != 0 {
+			b = uint(desc.Bits)
+		}
+		return meta + packedBytes(n, float64(b)), nil
+
+	case columns.DynBP:
+		nb := n / formats.BlockLen
+		rem := n % formats.BlockLen
+		e := stats.ExpectedBlockMaxBits(&p.BitHist, n, formats.BlockLen)
+		perBlock := blockHeaderBytes + packedBytes(formats.BlockLen, e)
+		return meta + nb*perBlock + 8*rem, nil
+
+	case columns.DeltaBP:
+		nb := n / formats.BlockLen
+		rem := n % formats.BlockLen
+		// The first element has no predecessor; its "delta" is the value
+		// itself, a negligible contribution the histogram model ignores.
+		e := stats.ExpectedBlockMaxBits(&p.DeltaBitHist, n-1, formats.BlockLen)
+		perBlock := cascadeHeaderBytes + packedBytes(formats.BlockLen, e)
+		return meta + nb*perBlock + 8*rem, nil
+
+	case columns.ForBP:
+		nb := n / formats.BlockLen
+		rem := n % formats.BlockLen
+		var e float64
+		if p.Sorted && n > formats.BlockLen {
+			// Sorted data: a block spans ~1/nb of the value range, so the
+			// per-block offsets need bits(range * blockLen / n).
+			span := float64(p.Max-p.Min) * float64(formats.BlockLen) / float64(n)
+			e = float64(bits.Len64(uint64(span)))
+		} else {
+			// Unsorted: assume the global minimum approximates each block's
+			// reference and model the block maximum of the shifted widths.
+			e = stats.ExpectedBlockMaxBits(&p.ForBitHist, n, formats.BlockLen)
+		}
+		perBlock := cascadeHeaderBytes + packedBytes(formats.BlockLen, e)
+		return meta + nb*perBlock + 8*rem, nil
+
+	case columns.RLE:
+		return meta + 16*p.Runs, nil
+
+	default:
+		return 0, fmt.Errorf("costmodel: no size model for %v", desc)
+	}
+}
+
+// packedBytes is the expected packed payload size of n values at a
+// (possibly fractional, expected) bit width.
+func packedBytes(n int, bits float64) int {
+	words := float64(n) * bits / 64
+	return int(words+0.999) * 8
+}
+
+// ChooseBySize returns the candidate format with the smallest estimated
+// physical size — the compression-rate objective of the selection strategy,
+// the one evaluated in Fig. 10.
+func ChooseBySize(p *stats.Profile, candidates []columns.FormatDesc) (columns.FormatDesc, error) {
+	if len(candidates) == 0 {
+		return columns.FormatDesc{}, fmt.Errorf("costmodel: no candidate formats")
+	}
+	best := candidates[0]
+	bestSize := -1
+	for _, d := range candidates {
+		s, err := EstimateBytes(p, d)
+		if err != nil {
+			return columns.FormatDesc{}, err
+		}
+		if bestSize < 0 || s < bestSize {
+			best, bestSize = d, s
+		}
+	}
+	return best, nil
+}
+
+// Calibration captures hardware-dependent per-element costs of each format,
+// the calibrated half of the gray-box model.
+type Calibration struct {
+	// CompressNs and DecompressNs map format kinds to nanoseconds per
+	// element.
+	CompressNs   map[columns.Kind]float64
+	DecompressNs map[columns.Kind]float64
+}
+
+// DefaultCalibration returns canned per-element costs representative of a
+// commodity x86-64 core; use Calibrate for machine-specific numbers.
+func DefaultCalibration() *Calibration {
+	return &Calibration{
+		CompressNs: map[columns.Kind]float64{
+			columns.Uncompressed: 0.3, columns.StaticBP: 1.2, columns.DynBP: 1.4,
+			columns.DeltaBP: 1.8, columns.ForBP: 1.8, columns.RLE: 1.0,
+		},
+		DecompressNs: map[columns.Kind]float64{
+			columns.Uncompressed: 0.3, columns.StaticBP: 1.0, columns.DynBP: 1.1,
+			columns.DeltaBP: 1.5, columns.ForBP: 1.4, columns.RLE: 0.8,
+		},
+	}
+}
+
+// Calibrate measures per-element compression and decompression costs of
+// every format on synthetic data of the given size and returns them as a
+// calibration (the offline calibration run of the gray-box approach).
+func Calibrate(n int) (*Calibration, error) {
+	if n < formats.BlockLen {
+		n = 1 << 16
+	}
+	vals := make([]uint64, n)
+	seed := uint64(0x2545F4914F6CDD1D)
+	for i := range vals {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		vals[i] = seed % 4096
+	}
+	cal := &Calibration{
+		CompressNs:   make(map[columns.Kind]float64),
+		DecompressNs: make(map[columns.Kind]float64),
+	}
+	dst := make([]uint64, n)
+	for _, desc := range formats.AllDescs() {
+		start := time.Now()
+		col, err := formats.Compress(vals, desc)
+		if err != nil {
+			return nil, err
+		}
+		cal.CompressNs[desc.Kind] = float64(time.Since(start).Nanoseconds()) / float64(n)
+		codec, err := formats.Get(desc.Kind)
+		if err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		if err := codec.Decompress(dst, col); err != nil {
+			return nil, err
+		}
+		cal.DecompressNs[desc.Kind] = float64(time.Since(start).Nanoseconds()) / float64(n)
+	}
+	return cal, nil
+}
+
+// EstimateAccessNs estimates the time to write a column once and read it
+// once in the given format: the processing-cost objective that trades off
+// against the compression rate (§2.1: the best-rate algorithm is not
+// necessarily the fastest).
+func (c *Calibration) EstimateAccessNs(p *stats.Profile, desc columns.FormatDesc) float64 {
+	return float64(p.N) * (c.CompressNs[desc.Kind] + c.DecompressNs[desc.Kind])
+}
+
+// ChooseByAccessTime returns the candidate with the lowest estimated
+// write+read time.
+func (c *Calibration) ChooseByAccessTime(p *stats.Profile, candidates []columns.FormatDesc) (columns.FormatDesc, error) {
+	if len(candidates) == 0 {
+		return columns.FormatDesc{}, fmt.Errorf("costmodel: no candidate formats")
+	}
+	best := candidates[0]
+	bestT := -1.0
+	for _, d := range candidates {
+		t := c.EstimateAccessNs(p, d)
+		if bestT < 0 || t < bestT {
+			best, bestT = d, t
+		}
+	}
+	return best, nil
+}

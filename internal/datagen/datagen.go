@@ -1,0 +1,122 @@
+// Package datagen generates the synthetic columns of the paper's
+// micro-benchmarks (Table 1) and their select-workload variants (§5.1).
+//
+// Table 1 (each column 128 Mi data elements in the paper; the element count
+// is a parameter here):
+//
+//	C1  uniform in [0, 63],                unsorted, max bit width 6
+//	C2  99.99% uniform in [0, 63],         unsorted, max bit width 63
+//	    0.01% constant 2^63 - 1
+//	C3  uniform in [2^62, 2^62 + 63],      unsorted, max bit width 63
+//	C4  uniform in [2^47, 2^47 + 100000],  sorted,   max bit width 48
+//
+// All generators are deterministic in (n, seed).
+package datagen
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// ColumnID identifies one of the synthetic columns of Table 1.
+type ColumnID int
+
+// The four synthetic columns of Table 1.
+const (
+	C1 ColumnID = iota + 1
+	C2
+	C3
+	C4
+)
+
+// All lists the four Table 1 columns.
+var All = []ColumnID{C1, C2, C3, C4}
+
+func (c ColumnID) String() string {
+	switch c {
+	case C1:
+		return "C1"
+	case C2:
+		return "C2"
+	case C3:
+		return "C3"
+	case C4:
+		return "C4"
+	default:
+		return "C?"
+	}
+}
+
+const (
+	c2Outlier = uint64(1)<<63 - 1
+	c3Base    = uint64(1) << 62
+	c4Base    = uint64(1) << 47
+	c4Span    = 100000
+)
+
+// Generate returns column c with n data elements.
+func Generate(c ColumnID, n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]uint64, n)
+	switch c {
+	case C1:
+		for i := range vals {
+			vals[i] = uint64(rng.Intn(64))
+		}
+	case C2:
+		for i := range vals {
+			if rng.Float64() < 0.0001 {
+				vals[i] = c2Outlier
+			} else {
+				vals[i] = uint64(rng.Intn(64))
+			}
+		}
+		// Guarantee the advertised max bit width for any n.
+		if n > 0 {
+			vals[rng.Intn(n)] = c2Outlier
+		}
+	case C3:
+		for i := range vals {
+			vals[i] = c3Base + uint64(rng.Intn(64))
+		}
+	case C4:
+		for i := range vals {
+			vals[i] = c4Base + uint64(rng.Intn(c4Span+1))
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	}
+	return vals
+}
+
+// Lowest returns the a-priori known lowest data element of column c, the
+// point-predicate constant of the single-operator experiment.
+func Lowest(c ColumnID) uint64 {
+	switch c {
+	case C1, C2:
+		return 0
+	case C3:
+		return c3Base
+	case C4:
+		return c4Base
+	default:
+		return 0
+	}
+}
+
+// GenerateSelectWorkload returns column c adapted for the select-operator
+// micro-benchmark (§5.1): 90% of all data elements equal the column's lowest
+// value, the remaining 10% follow the Table 1 distribution. C4 stays sorted.
+func GenerateSelectWorkload(c ColumnID, n int, seed int64) (vals []uint64, needle uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	vals = Generate(c, n, seed+1)
+	needle = Lowest(c)
+	for i := range vals {
+		if rng.Float64() < 0.9 {
+			vals[i] = needle
+		}
+	}
+	if c == C4 {
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	}
+	return vals, needle
+}

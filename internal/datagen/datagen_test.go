@@ -1,0 +1,124 @@
+package datagen
+
+import (
+	"testing"
+
+	"morphstore/internal/stats"
+)
+
+// TestTable1Properties verifies every generated column matches its row of
+// Table 1: distribution bounds, sortedness, and maximum bit width.
+func TestTable1Properties(t *testing.T) {
+	n := 200000
+	cases := []struct {
+		id      ColumnID
+		maxBits uint
+		sorted  bool
+	}{
+		{C1, 6, false},
+		{C2, 63, false},
+		{C3, 63, false},
+		{C4, 48, false}, // sorted column: Sorted flag checked separately
+	}
+	for _, c := range cases {
+		vals := Generate(c.id, n, 42)
+		if len(vals) != n {
+			t.Fatalf("%v: n = %d", c.id, len(vals))
+		}
+		p := stats.Collect(vals)
+		if p.MaxBits != c.maxBits {
+			t.Errorf("%v: max bits = %d, want %d", c.id, p.MaxBits, c.maxBits)
+		}
+	}
+	if !stats.Collect(Generate(C4, n, 42)).Sorted {
+		t.Error("C4 must be sorted")
+	}
+	if stats.Collect(Generate(C1, n, 42)).Sorted {
+		t.Error("C1 must not be sorted")
+	}
+}
+
+func TestC2OutlierRate(t *testing.T) {
+	n := 1 << 20
+	vals := Generate(C2, n, 7)
+	outliers := 0
+	for _, v := range vals {
+		if v == uint64(1)<<63-1 {
+			outliers++
+		} else if v > 63 {
+			t.Fatalf("C2 non-outlier value %d out of range", v)
+		}
+	}
+	rate := float64(outliers) / float64(n)
+	if rate < 0.00003 || rate > 0.0005 {
+		t.Errorf("C2 outlier rate = %f, want about 0.0001", rate)
+	}
+}
+
+func TestC3C4Ranges(t *testing.T) {
+	for _, v := range Generate(C3, 100000, 3) {
+		if v < 1<<62 || v > 1<<62+63 {
+			t.Fatalf("C3 value %d out of range", v)
+		}
+	}
+	for _, v := range Generate(C4, 100000, 3) {
+		if v < 1<<47 || v > 1<<47+100000 {
+			t.Fatalf("C4 value %d out of range", v)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, id := range All {
+		a := Generate(id, 10000, 5)
+		b := Generate(id, 10000, 5)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v not deterministic at %d", id, i)
+			}
+		}
+		c := Generate(id, 10000, 6)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same && id != C4 { // C4's sort can coincide, others must differ
+			t.Errorf("%v: different seeds produced identical data", id)
+		}
+	}
+}
+
+// TestSelectWorkloadSelectivity verifies the 90% point-predicate share.
+func TestSelectWorkloadSelectivity(t *testing.T) {
+	n := 1 << 18
+	for _, id := range All {
+		vals, needle := GenerateSelectWorkload(id, n, 11)
+		if needle != Lowest(id) {
+			t.Errorf("%v: needle %d != lowest %d", id, needle, Lowest(id))
+		}
+		hits := 0
+		for _, v := range vals {
+			if v == needle {
+				hits++
+			}
+		}
+		sel := float64(hits) / float64(n)
+		if sel < 0.88 || sel > 0.93 {
+			t.Errorf("%v: selectivity %f, want about 0.9", id, sel)
+		}
+	}
+	// C4's workload must stay sorted.
+	vals, _ := GenerateSelectWorkload(C4, n, 11)
+	if !stats.Collect(vals).Sorted {
+		t.Error("C4 select workload must stay sorted")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if C1.String() != "C1" || C4.String() != "C4" || ColumnID(99).String() != "C?" {
+		t.Error("ColumnID strings")
+	}
+}

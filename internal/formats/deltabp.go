@@ -1,0 +1,177 @@
+package formats
+
+import (
+	"fmt"
+
+	"morphstore/internal/bitutil"
+	"morphstore/internal/columns"
+)
+
+// deltaBPCodec implements the cascade of delta coding (logical level) with
+// block-wise binary packing (physical level): the paper's DELTA+SIMD-BP512.
+// Differences are taken modulo 2^64, so the format is lossless for arbitrary
+// data; it only *compresses* well when the data is (nearly) sorted — which
+// is exactly the case for the position lists produced by selections, the
+// paper's running example of a beneficial intermediate format.
+//
+// Block layout: [base:1 word][bits:1 word][payload: 8*bits words], where
+// base is the value preceding the block (0 for the first block) and the
+// payload packs the 512 wrap-around deltas. Each block decodes independently.
+type deltaBPCodec struct{}
+
+func init() { register(deltaBPCodec{}) }
+
+func (deltaBPCodec) Kind() columns.Kind { return columns.DeltaBP }
+func (deltaBPCodec) BlockLenHint() int  { return BlockLen }
+
+func appendDeltaBPBlock(words []uint64, blk []uint64, base uint64, scratch []uint64) []uint64 {
+	prev := base
+	for i, v := range blk {
+		scratch[i] = v - prev
+		prev = v
+	}
+	bits := bitutil.MaxBits(scratch[:len(blk)])
+	words = append(words, base, uint64(bits))
+	off := len(words)
+	words = append(words, make([]uint64, payloadWords(bits))...)
+	bitutil.Pack(words[off:], scratch[:len(blk)], bits)
+	return words
+}
+
+func decodeDeltaBPBlock(words []uint64, w int, dst []uint64, scratch []uint64) (int, error) {
+	if w+2 > len(words) {
+		return 0, fmt.Errorf("%w: delta BP block header beyond buffer", ErrCorrupt)
+	}
+	base := words[w]
+	bits := uint(words[w+1])
+	if bits > 64 {
+		return 0, fmt.Errorf("%w: delta BP block width %d", ErrCorrupt, bits)
+	}
+	w += 2
+	pw := payloadWords(bits)
+	if w+pw > len(words) {
+		return 0, fmt.Errorf("%w: delta BP block payload beyond buffer", ErrCorrupt)
+	}
+	bitutil.Unpack(scratch[:BlockLen], words[w:w+pw], bits)
+	v := base
+	for i := 0; i < BlockLen; i++ {
+		v += scratch[i]
+		dst[i] = v
+	}
+	return w + pw, nil
+}
+
+func (deltaBPCodec) Compress(src []uint64, _ columns.FormatDesc) (*columns.Column, error) {
+	nb := len(src) / BlockLen
+	mainElems := nb * BlockLen
+	words := make([]uint64, 0, 2*nb+len(src)/8)
+	scratch := make([]uint64, BlockLen)
+	base := uint64(0)
+	for b := 0; b < nb; b++ {
+		blk := src[b*BlockLen : (b+1)*BlockLen]
+		words = appendDeltaBPBlock(words, blk, base, scratch)
+		base = blk[BlockLen-1]
+	}
+	mainWords := len(words)
+	words = append(words, src[mainElems:]...)
+	return columns.New(columns.DeltaBPDesc, len(src), mainElems, mainWords, words)
+}
+
+func (deltaBPCodec) Decompress(dst []uint64, col *columns.Column) error {
+	if len(dst) != col.N() {
+		return fmt.Errorf("formats: decompress destination has %d elements, want %d", len(dst), col.N())
+	}
+	words := col.MainWords()
+	scratch := make([]uint64, BlockLen)
+	w := 0
+	var err error
+	for e := 0; e < col.MainElems(); e += BlockLen {
+		if w, err = decodeDeltaBPBlock(words, w, dst[e:], scratch); err != nil {
+			return err
+		}
+	}
+	copy(dst[col.MainElems():], col.Remainder())
+	return nil
+}
+
+func (deltaBPCodec) NewReader(col *columns.Column) Reader {
+	return &deltaBPReader{col: col, scratch: make([]uint64, BlockLen)}
+}
+
+func (deltaBPCodec) NewWriter(_ columns.FormatDesc, sizeHint int) Writer {
+	return &deltaBPWriter{
+		words:   make([]uint64, 0, sizeHint/8),
+		pending: make([]uint64, 0, BlockLen),
+		scratch: make([]uint64, BlockLen),
+	}
+}
+
+type deltaBPReader struct {
+	col     *columns.Column
+	scratch []uint64
+	w       int
+	elem    int
+}
+
+func (r *deltaBPReader) Read(dst []uint64) (int, error) {
+	k := 0
+	words := r.col.MainWords()
+	for r.elem < r.col.MainElems() {
+		if len(dst)-k < BlockLen {
+			if k == 0 {
+				return 0, ErrSmallBuffer
+			}
+			return k, nil
+		}
+		w, err := decodeDeltaBPBlock(words, r.w, dst[k:], r.scratch)
+		if err != nil {
+			return k, err
+		}
+		r.w = w
+		r.elem += BlockLen
+		k += BlockLen
+	}
+	rem := r.col.Remainder()
+	off := r.elem - r.col.MainElems()
+	c := copy(dst[k:], rem[off:])
+	r.elem += c
+	return k + c, nil
+}
+
+type deltaBPWriter struct {
+	words   []uint64
+	pending []uint64
+	scratch []uint64
+	base    uint64
+	n       int
+	closed  bool
+}
+
+func (w *deltaBPWriter) Write(vals []uint64) error {
+	w.n += len(vals)
+	if len(w.pending) == 0 {
+		for len(vals) >= BlockLen {
+			w.words = appendDeltaBPBlock(w.words, vals[:BlockLen], w.base, w.scratch)
+			w.base = vals[BlockLen-1]
+			vals = vals[BlockLen:]
+		}
+	}
+	w.pending = append(w.pending, vals...)
+	for len(w.pending) >= BlockLen {
+		w.words = appendDeltaBPBlock(w.words, w.pending[:BlockLen], w.base, w.scratch)
+		w.base = w.pending[BlockLen-1]
+		rest := copy(w.pending, w.pending[BlockLen:])
+		w.pending = w.pending[:rest]
+	}
+	return nil
+}
+
+func (w *deltaBPWriter) Close() (*columns.Column, error) {
+	if w.closed {
+		return nil, fmt.Errorf("formats: writer already closed")
+	}
+	w.closed = true
+	mainWords := len(w.words)
+	words := append(w.words, w.pending...)
+	return columns.New(columns.DeltaBPDesc, w.n, w.n-len(w.pending), mainWords, words)
+}

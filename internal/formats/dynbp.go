@@ -1,0 +1,160 @@
+package formats
+
+import (
+	"fmt"
+
+	"morphstore/internal/bitutil"
+	"morphstore/internal/columns"
+)
+
+// dynBPCodec implements block-wise binary packing over 512-element blocks
+// with a per-block bit width: the 64-bit port of SIMD-BP128 [Lemire/Boytsov]
+// that the paper calls SIMD-BP512. Each block adapts to its local maximum,
+// which is what makes the format robust against outliers (column C2).
+//
+// Block layout (word-aligned): [bits:1 word][payload: 8*bits words].
+// 512 values of width b occupy exactly 8*b words.
+type dynBPCodec struct{}
+
+func init() { register(dynBPCodec{}) }
+
+func (dynBPCodec) Kind() columns.Kind { return columns.DynBP }
+func (dynBPCodec) BlockLenHint() int  { return BlockLen }
+
+// payloadWords is the number of packed words of one block at width bits.
+func payloadWords(bits uint) int { return int(bits) * (BlockLen / 64) }
+
+func (dynBPCodec) Compress(src []uint64, _ columns.FormatDesc) (*columns.Column, error) {
+	nb := len(src) / BlockLen
+	mainElems := nb * BlockLen
+	words := make([]uint64, 0, nb+len(src)/4)
+	for b := 0; b < nb; b++ {
+		words = appendDynBPBlock(words, src[b*BlockLen:(b+1)*BlockLen])
+	}
+	mainWords := len(words)
+	words = append(words, src[mainElems:]...)
+	return columns.New(columns.DynBPDesc, len(src), mainElems, mainWords, words)
+}
+
+// appendDynBPBlock encodes one full block of BlockLen values.
+func appendDynBPBlock(words []uint64, blk []uint64) []uint64 {
+	bits := bitutil.MaxBits(blk)
+	words = append(words, uint64(bits))
+	off := len(words)
+	words = append(words, make([]uint64, payloadWords(bits))...)
+	bitutil.Pack(words[off:], blk, bits)
+	return words
+}
+
+// decodeDynBPBlock decodes one block starting at words[w] into dst[:BlockLen]
+// and returns the next word offset.
+func decodeDynBPBlock(words []uint64, w int, dst []uint64) (int, error) {
+	if w >= len(words) {
+		return 0, fmt.Errorf("%w: dyn BP block header beyond buffer", ErrCorrupt)
+	}
+	bits := uint(words[w])
+	if bits > 64 {
+		return 0, fmt.Errorf("%w: dyn BP block width %d", ErrCorrupt, bits)
+	}
+	w++
+	pw := payloadWords(bits)
+	if w+pw > len(words) {
+		return 0, fmt.Errorf("%w: dyn BP block payload beyond buffer", ErrCorrupt)
+	}
+	bitutil.Unpack(dst[:BlockLen], words[w:w+pw], bits)
+	return w + pw, nil
+}
+
+func (dynBPCodec) Decompress(dst []uint64, col *columns.Column) error {
+	if len(dst) != col.N() {
+		return fmt.Errorf("formats: decompress destination has %d elements, want %d", len(dst), col.N())
+	}
+	words := col.MainWords()
+	w := 0
+	var err error
+	for e := 0; e < col.MainElems(); e += BlockLen {
+		if w, err = decodeDynBPBlock(words, w, dst[e:]); err != nil {
+			return err
+		}
+	}
+	copy(dst[col.MainElems():], col.Remainder())
+	return nil
+}
+
+func (dynBPCodec) NewReader(col *columns.Column) Reader {
+	return &dynBPReader{col: col}
+}
+
+func (dynBPCodec) NewWriter(_ columns.FormatDesc, sizeHint int) Writer {
+	return &dynBPWriter{
+		words:   make([]uint64, 0, sizeHint/4),
+		pending: make([]uint64, 0, BlockLen),
+	}
+}
+
+type dynBPReader struct {
+	col  *columns.Column
+	w    int // word cursor in main part
+	elem int // elements produced so far
+}
+
+func (r *dynBPReader) Read(dst []uint64) (int, error) {
+	k := 0
+	words := r.col.MainWords()
+	for r.elem < r.col.MainElems() {
+		if len(dst)-k < BlockLen {
+			if k == 0 {
+				return 0, ErrSmallBuffer
+			}
+			return k, nil
+		}
+		w, err := decodeDynBPBlock(words, r.w, dst[k:])
+		if err != nil {
+			return k, err
+		}
+		r.w = w
+		r.elem += BlockLen
+		k += BlockLen
+	}
+	// Uncompressed remainder.
+	rem := r.col.Remainder()
+	off := r.elem - r.col.MainElems()
+	c := copy(dst[k:], rem[off:])
+	r.elem += c
+	return k + c, nil
+}
+
+type dynBPWriter struct {
+	words   []uint64
+	pending []uint64
+	n       int
+	closed  bool
+}
+
+func (w *dynBPWriter) Write(vals []uint64) error {
+	w.n += len(vals)
+	// Fast path: consume full blocks directly from the input.
+	if len(w.pending) == 0 {
+		for len(vals) >= BlockLen {
+			w.words = appendDynBPBlock(w.words, vals[:BlockLen])
+			vals = vals[BlockLen:]
+		}
+	}
+	w.pending = append(w.pending, vals...)
+	for len(w.pending) >= BlockLen {
+		w.words = appendDynBPBlock(w.words, w.pending[:BlockLen])
+		rest := copy(w.pending, w.pending[BlockLen:])
+		w.pending = w.pending[:rest]
+	}
+	return nil
+}
+
+func (w *dynBPWriter) Close() (*columns.Column, error) {
+	if w.closed {
+		return nil, fmt.Errorf("formats: writer already closed")
+	}
+	w.closed = true
+	mainWords := len(w.words)
+	words := append(w.words, w.pending...)
+	return columns.New(columns.DynBPDesc, w.n, w.n-len(w.pending), mainWords, words)
+}

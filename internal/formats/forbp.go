@@ -1,0 +1,170 @@
+package formats
+
+import (
+	"fmt"
+
+	"morphstore/internal/bitutil"
+	"morphstore/internal/columns"
+)
+
+// forBPCodec implements the cascade of frame-of-reference coding (logical
+// level) with block-wise binary packing (physical level): the paper's
+// FOR+SIMD-BP512. Each block stores its minimum as the reference and packs
+// the offsets, which is the format of choice for narrow ranges of huge
+// values (column C3).
+//
+// Block layout: [ref:1 word][bits:1 word][payload: 8*bits words].
+type forBPCodec struct{}
+
+func init() { register(forBPCodec{}) }
+
+func (forBPCodec) Kind() columns.Kind { return columns.ForBP }
+func (forBPCodec) BlockLenHint() int  { return BlockLen }
+
+func appendForBPBlock(words []uint64, blk []uint64, scratch []uint64) []uint64 {
+	ref := blk[0]
+	for _, v := range blk[1:] {
+		if v < ref {
+			ref = v
+		}
+	}
+	var acc uint64
+	for i, v := range blk {
+		scratch[i] = v - ref
+		acc |= v - ref
+	}
+	bits := bitutil.EffectiveBits(acc)
+	words = append(words, ref, uint64(bits))
+	off := len(words)
+	words = append(words, make([]uint64, payloadWords(bits))...)
+	bitutil.Pack(words[off:], scratch[:len(blk)], bits)
+	return words
+}
+
+func decodeForBPBlock(words []uint64, w int, dst []uint64) (int, error) {
+	if w+2 > len(words) {
+		return 0, fmt.Errorf("%w: FOR BP block header beyond buffer", ErrCorrupt)
+	}
+	ref := words[w]
+	bits := uint(words[w+1])
+	if bits > 64 {
+		return 0, fmt.Errorf("%w: FOR BP block width %d", ErrCorrupt, bits)
+	}
+	w += 2
+	pw := payloadWords(bits)
+	if w+pw > len(words) {
+		return 0, fmt.Errorf("%w: FOR BP block payload beyond buffer", ErrCorrupt)
+	}
+	bitutil.Unpack(dst[:BlockLen], words[w:w+pw], bits)
+	for i := 0; i < BlockLen; i++ {
+		dst[i] += ref
+	}
+	return w + pw, nil
+}
+
+func (forBPCodec) Compress(src []uint64, _ columns.FormatDesc) (*columns.Column, error) {
+	nb := len(src) / BlockLen
+	mainElems := nb * BlockLen
+	words := make([]uint64, 0, 2*nb+len(src)/8)
+	scratch := make([]uint64, BlockLen)
+	for b := 0; b < nb; b++ {
+		words = appendForBPBlock(words, src[b*BlockLen:(b+1)*BlockLen], scratch)
+	}
+	mainWords := len(words)
+	words = append(words, src[mainElems:]...)
+	return columns.New(columns.ForBPDesc, len(src), mainElems, mainWords, words)
+}
+
+func (forBPCodec) Decompress(dst []uint64, col *columns.Column) error {
+	if len(dst) != col.N() {
+		return fmt.Errorf("formats: decompress destination has %d elements, want %d", len(dst), col.N())
+	}
+	words := col.MainWords()
+	w := 0
+	var err error
+	for e := 0; e < col.MainElems(); e += BlockLen {
+		if w, err = decodeForBPBlock(words, w, dst[e:]); err != nil {
+			return err
+		}
+	}
+	copy(dst[col.MainElems():], col.Remainder())
+	return nil
+}
+
+func (forBPCodec) NewReader(col *columns.Column) Reader {
+	return &forBPReader{col: col}
+}
+
+func (forBPCodec) NewWriter(_ columns.FormatDesc, sizeHint int) Writer {
+	return &forBPWriter{
+		words:   make([]uint64, 0, sizeHint/8),
+		pending: make([]uint64, 0, BlockLen),
+		scratch: make([]uint64, BlockLen),
+	}
+}
+
+type forBPReader struct {
+	col  *columns.Column
+	w    int
+	elem int
+}
+
+func (r *forBPReader) Read(dst []uint64) (int, error) {
+	k := 0
+	words := r.col.MainWords()
+	for r.elem < r.col.MainElems() {
+		if len(dst)-k < BlockLen {
+			if k == 0 {
+				return 0, ErrSmallBuffer
+			}
+			return k, nil
+		}
+		w, err := decodeForBPBlock(words, r.w, dst[k:])
+		if err != nil {
+			return k, err
+		}
+		r.w = w
+		r.elem += BlockLen
+		k += BlockLen
+	}
+	rem := r.col.Remainder()
+	off := r.elem - r.col.MainElems()
+	c := copy(dst[k:], rem[off:])
+	r.elem += c
+	return k + c, nil
+}
+
+type forBPWriter struct {
+	words   []uint64
+	pending []uint64
+	scratch []uint64
+	n       int
+	closed  bool
+}
+
+func (w *forBPWriter) Write(vals []uint64) error {
+	w.n += len(vals)
+	if len(w.pending) == 0 {
+		for len(vals) >= BlockLen {
+			w.words = appendForBPBlock(w.words, vals[:BlockLen], w.scratch)
+			vals = vals[BlockLen:]
+		}
+	}
+	w.pending = append(w.pending, vals...)
+	for len(w.pending) >= BlockLen {
+		w.words = appendForBPBlock(w.words, w.pending[:BlockLen], w.scratch)
+		rest := copy(w.pending, w.pending[BlockLen:])
+		w.pending = w.pending[:rest]
+	}
+	return nil
+}
+
+func (w *forBPWriter) Close() (*columns.Column, error) {
+	if w.closed {
+		return nil, fmt.Errorf("formats: writer already closed")
+	}
+	w.closed = true
+	mainWords := len(w.words)
+	words := append(w.words, w.pending...)
+	return columns.New(columns.ForBPDesc, w.n, w.n-len(w.pending), mainWords, words)
+}

@@ -1,0 +1,165 @@
+// Package formats implements MorphStore-Go's corpus of lightweight integer
+// compression formats on unsigned 64-bit data elements (paper §4.1):
+//
+//   - Uncompressed: one word per element,
+//   - StaticBP: bit packing with one fixed bit width for the whole column,
+//   - DynBP: block-wise binary packing with a per-block width over
+//     512-element blocks (the 64-bit port of SIMD-BP128/512),
+//   - DeltaBP: DELTA cascaded with DynBP ("DELTA + SIMD-BP512"),
+//   - ForBP: frame-of-reference cascaded with DynBP ("FOR + SIMD-BP512"),
+//   - RLE: run-length encoding (extension beyond the paper's five formats).
+//
+// Besides whole-column compression and decompression, every format provides
+// the two halves of the paper's buffer layer (Fig. 4): a sequential Reader
+// that decompresses into a caller-supplied cache-resident block, and a Writer
+// that accepts uncompressed elements and compresses them block-wise. These
+// are what the on-the-fly de/re-compression operators in internal/ops wrap
+// around their format-oblivious kernels.
+package formats
+
+import (
+	"errors"
+	"fmt"
+
+	"morphstore/internal/columns"
+)
+
+// BlockLen is the number of data elements per compressed block of the
+// block-based formats (DynBP, DeltaBP, ForBP): the SIMD-BP512 block size.
+const BlockLen = 512
+
+// BufferLen is the default element capacity of the cache-resident buffers
+// used between operators and codecs: 2048 elements = 16 KiB, half the size
+// of a typical L1 data cache, exactly as in the paper's evaluation setup.
+const BufferLen = 2048
+
+// ErrSmallBuffer reports a Read destination smaller than one format block.
+var ErrSmallBuffer = errors.New("formats: read buffer smaller than one block")
+
+// ErrCorrupt reports structurally invalid compressed data.
+var ErrCorrupt = errors.New("formats: corrupt compressed data")
+
+// Reader sequentially decompresses a column into caller-supplied buffers,
+// materializing uncompressed data only at cache-resident-block granularity.
+type Reader interface {
+	// Read decompresses up to len(dst) next elements into dst and returns
+	// how many were produced. It returns (0, nil) once the column is
+	// exhausted. For block-based formats len(dst) must be at least BlockLen
+	// while the compressed main part is being consumed.
+	Read(dst []uint64) (int, error)
+}
+
+// ValueViewer is implemented by readers that can expose the entire column as
+// a zero-copy value slice (the uncompressed format). Operators use it as the
+// "direct data access" fast path of the purely-uncompressed degree.
+type ValueViewer interface {
+	// View returns the whole remaining data without copying, or false.
+	View() ([]uint64, bool)
+}
+
+// Writer accepts uncompressed elements and produces a compressed column.
+// It is the output side of the paper's buffer layer: elements accumulate in
+// an internal cache-resident buffer and are compressed block-wise; on Close
+// whatever cannot fill a block becomes the column's uncompressed remainder.
+type Writer interface {
+	// Write appends the given uncompressed elements to the column.
+	Write(vals []uint64) error
+	// Close flushes all pending data and returns the finished column.
+	Close() (*columns.Column, error)
+}
+
+// Codec bundles the operations of one compressed format.
+type Codec interface {
+	// Kind returns the format kind the codec implements.
+	Kind() columns.Kind
+	// BlockLenHint returns the block granularity in elements (1 if the
+	// format can represent any number of elements).
+	BlockLenHint() int
+	// Compress materializes all of src as a new column. For formats with a
+	// derivable parameter (StaticBP width) the descriptor may leave it 0.
+	Compress(src []uint64, desc columns.FormatDesc) (*columns.Column, error)
+	// Decompress expands the whole column into dst, which must have
+	// col.N() elements.
+	Decompress(dst []uint64, col *columns.Column) error
+	// NewReader returns a sequential reader over col.
+	NewReader(col *columns.Column) Reader
+	// NewWriter returns a writer producing a column in this format.
+	// sizeHint is the expected number of elements (0 if unknown).
+	NewWriter(desc columns.FormatDesc, sizeHint int) Writer
+}
+
+var registry [columns.NumKinds]Codec
+
+func register(c Codec) { registry[c.Kind()] = c }
+
+// Get returns the codec for the given kind.
+func Get(kind columns.Kind) (Codec, error) {
+	if int(kind) >= len(registry) || registry[kind] == nil {
+		return nil, fmt.Errorf("formats: no codec for kind %v", kind)
+	}
+	return registry[kind], nil
+}
+
+// Compress materializes src as a new column in the requested format.
+func Compress(src []uint64, desc columns.FormatDesc) (*columns.Column, error) {
+	c, err := Get(desc.Kind)
+	if err != nil {
+		return nil, err
+	}
+	return c.Compress(src, desc)
+}
+
+// Decompress expands col into a freshly allocated slice.
+func Decompress(col *columns.Column) ([]uint64, error) {
+	c, err := Get(col.Desc().Kind)
+	if err != nil {
+		return nil, err
+	}
+	dst := make([]uint64, col.N())
+	if err := c.Decompress(dst, col); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// NewReader returns a sequential reader over col in its own format.
+func NewReader(col *columns.Column) (Reader, error) {
+	c, err := Get(col.Desc().Kind)
+	if err != nil {
+		return nil, err
+	}
+	return c.NewReader(col), nil
+}
+
+// NewWriter returns a writer producing a column in the requested format.
+func NewWriter(desc columns.FormatDesc, sizeHint int) (Writer, error) {
+	c, err := Get(desc.Kind)
+	if err != nil {
+		return nil, err
+	}
+	return c.NewWriter(desc, sizeHint), nil
+}
+
+// PaperDescs returns the five formats implemented by the paper's MorphStore
+// (§4.1): uncompressed, static BP, SIMD-BP512, DELTA+SIMD-BP512, and
+// FOR+SIMD-BP512. These are the candidates of all reproduced experiments.
+func PaperDescs() []columns.FormatDesc {
+	return []columns.FormatDesc{
+		columns.UncomprDesc,
+		columns.StaticBPDesc(0),
+		columns.DynBPDesc,
+		columns.DeltaBPDesc,
+		columns.ForBPDesc,
+	}
+}
+
+// AllDescs returns every supported format, including extensions (RLE).
+func AllDescs() []columns.FormatDesc {
+	return append(PaperDescs(), columns.RLEDesc)
+}
+
+// RandomAccessDescs returns the formats supporting random read access
+// (paper §4.2: uncompressed and static BP only).
+func RandomAccessDescs() []columns.FormatDesc {
+	return []columns.FormatDesc{columns.UncomprDesc, columns.StaticBPDesc(0)}
+}

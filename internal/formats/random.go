@@ -1,0 +1,97 @@
+package formats
+
+import (
+	"fmt"
+
+	"morphstore/internal/bitutil"
+	"morphstore/internal/columns"
+)
+
+// RandomAccessor provides random read access to a column's elements.
+// Following the paper (§4.2), random access is deliberately restricted to
+// the uncompressed format and static BP, where a logical position maps to a
+// physical bit address in a straightforward way; plans that need random
+// access to other formats must morph first (the on-the-fly-morphing degree).
+type RandomAccessor interface {
+	// Get returns the element at logical position i.
+	Get(i int) uint64
+	// Gather fills dst[j] with the element at position idx[j] for all j.
+	Gather(dst []uint64, idx []uint64)
+}
+
+// ErrNoRandomAccess reports a random-access request on a format without
+// random-access support.
+var ErrNoRandomAccess = fmt.Errorf("formats: format supports no random access")
+
+// RandomAccess returns a random accessor for col, or ErrNoRandomAccess for
+// formats other than Uncompressed and StaticBP.
+func RandomAccess(col *columns.Column) (RandomAccessor, error) {
+	switch col.Desc().Kind {
+	case columns.Uncompressed:
+		return uncomprAccessor(col.Words()), nil
+	case columns.StaticBP:
+		return &staticBPAccessor{
+			words: col.MainWords(),
+			bits:  uint(col.Desc().Bits),
+			n:     col.N(),
+			gid:   -1,
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrNoRandomAccess, col.Desc())
+	}
+}
+
+// HasRandomAccess reports whether the format kind supports random access.
+func HasRandomAccess(kind columns.Kind) bool {
+	return kind == columns.Uncompressed || kind == columns.StaticBP
+}
+
+type uncomprAccessor []uint64
+
+func (a uncomprAccessor) Get(i int) uint64 { return a[i] }
+
+func (a uncomprAccessor) Gather(dst []uint64, idx []uint64) {
+	for j, ix := range idx {
+		dst[j] = a[ix]
+	}
+}
+
+// staticBPAccessor provides random access into packed words. Gather caches
+// the most recently decoded 64-value group: position lists produced by
+// selections are sorted, so consecutive accesses overwhelmingly hit the
+// cached group and gathering approaches sequential decode speed, while
+// arbitrary access orders remain correct (each miss decodes one group).
+type staticBPAccessor struct {
+	words []uint64
+	bits  uint
+	n     int
+	group [64]uint64
+	gid   int
+}
+
+func (a *staticBPAccessor) Get(i int) uint64 {
+	return bitutil.Get(a.words, i, a.bits)
+}
+
+func (a *staticBPAccessor) Gather(dst []uint64, idx []uint64) {
+	if a.bits == 0 {
+		for j := range idx {
+			dst[j] = 0
+		}
+		return
+	}
+	fullGroups := a.n >> 6
+	for j, ix := range idx {
+		g := int(ix >> 6)
+		if g != a.gid {
+			if g >= fullGroups {
+				// Partial tail group: decode element-wise.
+				dst[j] = bitutil.Get(a.words, int(ix), a.bits)
+				continue
+			}
+			bitutil.UnpackGroup(&a.group, a.words, g, a.bits)
+			a.gid = g
+		}
+		dst[j] = a.group[ix&63]
+	}
+}

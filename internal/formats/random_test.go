@@ -1,0 +1,115 @@
+package formats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"morphstore/internal/bitutil"
+	"morphstore/internal/columns"
+)
+
+// TestStaticBPGatherOrders verifies the group-cached gather on every access
+// pattern: sorted (the common case for position lists), reverse, random,
+// repeated, and straddling the partial tail group.
+func TestStaticBPGatherOrders(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 1000 // not a multiple of 64: exercises the partial tail group
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(100000))
+	}
+	col, err := Compress(vals, columns.StaticBPDesc(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	patterns := map[string][]uint64{}
+	sorted := make([]uint64, 0, n)
+	for i := 0; i < n; i += 3 {
+		sorted = append(sorted, uint64(i))
+	}
+	patterns["sorted"] = sorted
+	rev := make([]uint64, len(sorted))
+	for i, v := range sorted {
+		rev[len(sorted)-1-i] = v
+	}
+	patterns["reverse"] = rev
+	rnd := make([]uint64, 500)
+	for i := range rnd {
+		rnd[i] = uint64(rng.Intn(n))
+	}
+	patterns["random"] = rnd
+	patterns["repeated"] = []uint64{5, 5, 5, 999, 999, 5, 0, 999}
+	patterns["tail_only"] = []uint64{960, 970, 980, 999, 961}
+
+	for name, idx := range patterns {
+		ra, err := RandomAccess(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]uint64, len(idx))
+		ra.Gather(dst, idx)
+		for j, ix := range idx {
+			if dst[j] != vals[ix] {
+				t.Fatalf("%s: Gather[%d] (pos %d) = %d, want %d", name, j, ix, dst[j], vals[ix])
+			}
+		}
+	}
+}
+
+// TestStaticBPGatherZeroWidth covers the all-zero column accessor.
+func TestStaticBPGatherZeroWidth(t *testing.T) {
+	col, err := Compress(make([]uint64, 200), columns.StaticBPDesc(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := RandomAccess(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := []uint64{7, 7, 7}
+	ra.Gather(dst, []uint64{0, 100, 199})
+	for i, v := range dst {
+		if v != 0 {
+			t.Errorf("elem %d = %d, want 0", i, v)
+		}
+	}
+}
+
+// Property: Gather agrees with Get for arbitrary widths and index sets.
+func TestGatherEqualsGetProperty(t *testing.T) {
+	f := func(raw []uint64, idxRaw []uint16, w8 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		width := uint(w8%63) + 1
+		vals := make([]uint64, len(raw))
+		for i, v := range raw {
+			vals[i] = v & bitutil.Mask(width)
+		}
+		col, err := Compress(vals, columns.StaticBPDesc(0))
+		if err != nil {
+			return false
+		}
+		ra, err := RandomAccess(col)
+		if err != nil {
+			return false
+		}
+		idx := make([]uint64, len(idxRaw))
+		for i, v := range idxRaw {
+			idx[i] = uint64(int(v) % len(vals))
+		}
+		dst := make([]uint64, len(idx))
+		ra.Gather(dst, idx)
+		for j, ix := range idx {
+			if dst[j] != vals[ix] || ra.Get(int(ix)) != vals[ix] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

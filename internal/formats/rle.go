@@ -1,0 +1,164 @@
+package formats
+
+import (
+	"fmt"
+
+	"morphstore/internal/columns"
+)
+
+// rleCodec implements run-length encoding: the column is a sequence of
+// (run value, run length) word pairs. RLE is one of the five basic
+// lightweight techniques of §2.1; the paper's engine does not yet ship it,
+// so in MorphStore-Go it is an extension format that plugs into the same
+// codec, morph and operator machinery (and powers the specialized
+// sum-on-RLE operator sketched by Abadi et al. [2]).
+//
+// The whole column is the main part (any n is representable); run lengths
+// are never zero.
+type rleCodec struct{}
+
+func init() { register(rleCodec{}) }
+
+func (rleCodec) Kind() columns.Kind { return columns.RLE }
+func (rleCodec) BlockLenHint() int  { return 1 }
+
+func (rleCodec) Compress(src []uint64, _ columns.FormatDesc) (*columns.Column, error) {
+	words := make([]uint64, 0, 64)
+	i := 0
+	for i < len(src) {
+		v := src[i]
+		j := i + 1
+		for j < len(src) && src[j] == v {
+			j++
+		}
+		words = append(words, v, uint64(j-i))
+		i = j
+	}
+	return columns.New(columns.RLEDesc, len(src), len(src), len(words), words)
+}
+
+func (rleCodec) Decompress(dst []uint64, col *columns.Column) error {
+	if len(dst) != col.N() {
+		return fmt.Errorf("formats: decompress destination has %d elements, want %d", len(dst), col.N())
+	}
+	words := col.MainWords()
+	if len(words)%2 != 0 {
+		return fmt.Errorf("%w: RLE buffer has odd word count", ErrCorrupt)
+	}
+	k := 0
+	for w := 0; w < len(words); w += 2 {
+		v, l := words[w], int(words[w+1])
+		if l <= 0 || k+l > len(dst) {
+			return fmt.Errorf("%w: RLE run length %d at element %d of %d", ErrCorrupt, l, k, len(dst))
+		}
+		for i := 0; i < l; i++ {
+			dst[k+i] = v
+		}
+		k += l
+	}
+	if k != len(dst) {
+		return fmt.Errorf("%w: RLE runs cover %d of %d elements", ErrCorrupt, k, len(dst))
+	}
+	return nil
+}
+
+func (rleCodec) NewReader(col *columns.Column) Reader {
+	return &rleReader{words: col.MainWords(), n: col.N()}
+}
+
+func (rleCodec) NewWriter(_ columns.FormatDesc, _ int) Writer {
+	return &rleWriter{words: make([]uint64, 0, 64)}
+}
+
+// Run is one (value, length) pair of an RLE column.
+type Run struct {
+	Value  uint64
+	Length uint64
+}
+
+// RLERuns exposes the runs of an RLE column without decompression; it is the
+// direct-access primitive of the specialized RLE operators.
+func RLERuns(col *columns.Column) ([]Run, error) {
+	if col.Desc().Kind != columns.RLE {
+		return nil, fmt.Errorf("formats: RLERuns on %v column", col.Desc())
+	}
+	words := col.MainWords()
+	if len(words)%2 != 0 {
+		return nil, fmt.Errorf("%w: RLE buffer has odd word count", ErrCorrupt)
+	}
+	runs := make([]Run, len(words)/2)
+	for i := range runs {
+		runs[i] = Run{Value: words[2*i], Length: words[2*i+1]}
+	}
+	return runs, nil
+}
+
+type rleReader struct {
+	words  []uint64
+	n      int
+	w      int // current run pair offset
+	within int // elements of current run already emitted
+	emit   int // total elements emitted
+}
+
+func (r *rleReader) Read(dst []uint64) (int, error) {
+	k := 0
+	for k < len(dst) && r.emit < r.n {
+		if r.w+2 > len(r.words) {
+			return k, fmt.Errorf("%w: RLE runs exhausted at element %d of %d", ErrCorrupt, r.emit, r.n)
+		}
+		v, l := r.words[r.w], int(r.words[r.w+1])
+		take := l - r.within
+		if rem := len(dst) - k; take > rem {
+			take = rem
+		}
+		if max := r.n - r.emit; take > max {
+			take = max
+		}
+		for i := 0; i < take; i++ {
+			dst[k+i] = v
+		}
+		k += take
+		r.within += take
+		r.emit += take
+		if r.within >= l {
+			r.w += 2
+			r.within = 0
+		}
+	}
+	return k, nil
+}
+
+type rleWriter struct {
+	words  []uint64
+	cur    uint64
+	curLen uint64
+	n      int
+	closed bool
+}
+
+func (w *rleWriter) Write(vals []uint64) error {
+	w.n += len(vals)
+	for _, v := range vals {
+		if w.curLen > 0 && v == w.cur {
+			w.curLen++
+			continue
+		}
+		if w.curLen > 0 {
+			w.words = append(w.words, w.cur, w.curLen)
+		}
+		w.cur, w.curLen = v, 1
+	}
+	return nil
+}
+
+func (w *rleWriter) Close() (*columns.Column, error) {
+	if w.closed {
+		return nil, fmt.Errorf("formats: writer already closed")
+	}
+	w.closed = true
+	if w.curLen > 0 {
+		w.words = append(w.words, w.cur, w.curLen)
+	}
+	return columns.New(columns.RLEDesc, w.n, w.n, len(w.words), w.words)
+}

@@ -1,0 +1,176 @@
+package formats
+
+import (
+	"fmt"
+
+	"morphstore/internal/bitutil"
+	"morphstore/internal/columns"
+)
+
+// staticBPCodec implements static bit packing: every element of the column
+// is stored with one fixed bit width, tightly packed across word boundaries.
+// This is the paper's "static BP" — the format family that also covers the
+// classic byte-aligned SQL integer types (widths 8/16/32/64) and the only
+// compressed format with random read access (§4.2).
+//
+// Layout: PackedWords(n, bits) words of LSB-first packed values. The whole
+// column is the main part; there is never a remainder.
+type staticBPCodec struct{}
+
+func init() { register(staticBPCodec{}) }
+
+func (staticBPCodec) Kind() columns.Kind { return columns.StaticBP }
+func (staticBPCodec) BlockLenHint() int  { return 1 }
+
+func (staticBPCodec) Compress(src []uint64, desc columns.FormatDesc) (*columns.Column, error) {
+	bits := uint(desc.Bits)
+	if bits == 0 {
+		bits = bitutil.MaxBits(src)
+	} else if b := bitutil.MaxBits(src); b > bits {
+		return nil, fmt.Errorf("formats: static BP width %d cannot hold %d-bit values", bits, b)
+	}
+	words := make([]uint64, bitutil.PackedWords(len(src), bits))
+	bitutil.Pack(words, src, bits)
+	return columns.New(columns.FormatDesc{Kind: columns.StaticBP, Bits: uint8(bits)},
+		len(src), len(src), len(words), words)
+}
+
+func (staticBPCodec) Decompress(dst []uint64, col *columns.Column) error {
+	if len(dst) != col.N() {
+		return fmt.Errorf("formats: decompress destination has %d elements, want %d", len(dst), col.N())
+	}
+	bitutil.Unpack(dst, col.MainWords(), uint(col.Desc().Bits))
+	return nil
+}
+
+func (staticBPCodec) NewReader(col *columns.Column) Reader {
+	return &staticBPReader{
+		words: col.MainWords(),
+		n:     col.N(),
+		bits:  uint(col.Desc().Bits),
+	}
+}
+
+func (staticBPCodec) NewWriter(desc columns.FormatDesc, sizeHint int) Writer {
+	w := &staticBPWriter{bits: uint(desc.Bits)}
+	if w.bits == 0 {
+		// Auto width: static BP needs the global maximum before packing, so
+		// the writer recompresses at column granularity (buffers all input).
+		w.pending = make([]uint64, 0, sizeHint)
+	} else {
+		w.words = make([]uint64, 0, bitutil.PackedWords(sizeHint, w.bits))
+	}
+	return w
+}
+
+// staticBPReader decompresses sequentially, keeping its bit cursor
+// word-aligned by always consuming multiples of 64 elements except at the
+// very end (64 values of width b occupy exactly b words).
+type staticBPReader struct {
+	words []uint64
+	n     int
+	bits  uint
+	pos   int // elements consumed
+}
+
+func (r *staticBPReader) Read(dst []uint64) (int, error) {
+	remain := r.n - r.pos
+	if remain <= 0 {
+		return 0, nil
+	}
+	k := len(dst)
+	if k > remain {
+		k = remain
+	}
+	if k >= 64 && k < remain {
+		k &^= 63 // stay word-aligned while more full groups follow
+	}
+	if r.bits == 0 {
+		for i := 0; i < k; i++ {
+			dst[i] = 0
+		}
+		r.pos += k
+		return k, nil
+	}
+	startBit := uint64(r.pos) * uint64(r.bits)
+	if startBit%64 == 0 {
+		bitutil.Unpack(dst[:k], r.words[startBit>>6:], r.bits)
+	} else {
+		for i := 0; i < k; i++ {
+			dst[i] = bitutil.Get(r.words, r.pos+i, r.bits)
+		}
+	}
+	r.pos += k
+	return k, nil
+}
+
+// staticBPWriter packs incrementally when the width is preset (group-wise
+// through the unrolled kernels, staging 64 values at a time), or buffers the
+// whole column and packs on Close when the width must be derived.
+type staticBPWriter struct {
+	bits    uint
+	pending []uint64 // auto-width mode: all values so far
+	words   []uint64 // preset-width mode: packed output
+	group   [64]uint64
+	inGroup int
+	n       int
+	closed  bool
+}
+
+func (w *staticBPWriter) Write(vals []uint64) error {
+	if w.bits == 0 {
+		w.pending = append(w.pending, vals...)
+		w.n += len(vals)
+		return nil
+	}
+	w.n += len(vals)
+	var acc uint64
+	for len(vals) > 0 {
+		c := copy(w.group[w.inGroup:], vals)
+		for _, v := range vals[:c] {
+			acc |= v
+		}
+		w.inGroup += c
+		vals = vals[c:]
+		if w.inGroup == 64 {
+			off := len(w.words)
+			w.words = append(w.words, make([]uint64, w.bits)...)
+			bitutil.Pack(w.words[off:], w.group[:], w.bits)
+			w.inGroup = 0
+		}
+	}
+	if acc&^bitutil.Mask(w.bits) != 0 {
+		return fmt.Errorf("formats: value exceeds static BP width %d", w.bits)
+	}
+	return nil
+}
+
+func (w *staticBPWriter) Close() (*columns.Column, error) {
+	if w.closed {
+		return nil, fmt.Errorf("formats: writer already closed")
+	}
+	w.closed = true
+	if w.bits == 0 {
+		c, err := staticBPCodec{}.Compress(w.pending, columns.StaticBPDesc(0))
+		w.pending = nil
+		return c, err
+	}
+	if w.inGroup > 0 {
+		// Pack the final partial group at the exact tail length.
+		off := len(w.words)
+		w.words = append(w.words, make([]uint64, bitutil.PackedWords(w.inGroup, w.bits))...)
+		bitutil.Pack(w.words[off:], w.group[:w.inGroup], w.bits)
+	}
+	if want := bitutil.PackedWords(w.n, w.bits); len(w.words) != want {
+		return nil, fmt.Errorf("formats: static BP writer produced %d words, want %d", len(w.words), want)
+	}
+	return columns.New(columns.FormatDesc{Kind: columns.StaticBP, Bits: uint8(w.bits)},
+		w.n, w.n, len(w.words), w.words)
+}
+
+// StaticBPRandomGet returns element i of a static-BP column. It is the
+// random-read-access primitive of §4.2 and panics only on out-of-range i
+// (like slice indexing).
+func StaticBPRandomGet(col *columns.Column, i int) uint64 {
+	return bitutil.Get(col.MainWords(), i, uint(col.Desc().Bits))
+}

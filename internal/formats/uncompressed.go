@@ -1,0 +1,75 @@
+package formats
+
+import (
+	"fmt"
+
+	"morphstore/internal/columns"
+)
+
+// uncomprCodec implements the trivial uncompressed format: one 64-bit word
+// per data element, main part only, no remainder.
+type uncomprCodec struct{}
+
+func init() { register(uncomprCodec{}) }
+
+func (uncomprCodec) Kind() columns.Kind { return columns.Uncompressed }
+func (uncomprCodec) BlockLenHint() int  { return 1 }
+
+func (uncomprCodec) Compress(src []uint64, _ columns.FormatDesc) (*columns.Column, error) {
+	buf := make([]uint64, len(src))
+	copy(buf, src)
+	return columns.FromValues(buf), nil
+}
+
+func (uncomprCodec) Decompress(dst []uint64, col *columns.Column) error {
+	if len(dst) != col.N() {
+		return fmt.Errorf("formats: decompress destination has %d elements, want %d", len(dst), col.N())
+	}
+	copy(dst, col.Words())
+	return nil
+}
+
+func (uncomprCodec) NewReader(col *columns.Column) Reader {
+	return &uncomprReader{vals: col.Words()}
+}
+
+func (uncomprCodec) NewWriter(_ columns.FormatDesc, sizeHint int) Writer {
+	return &uncomprWriter{vals: make([]uint64, 0, sizeHint)}
+}
+
+type uncomprReader struct {
+	vals []uint64
+	pos  int
+}
+
+func (r *uncomprReader) Read(dst []uint64) (int, error) {
+	n := copy(dst, r.vals[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+// View exposes the remaining values without copying: the direct-data-access
+// fast path of the purely-uncompressed integration degree.
+func (r *uncomprReader) View() ([]uint64, bool) {
+	v := r.vals[r.pos:]
+	r.pos = len(r.vals)
+	return v, true
+}
+
+type uncomprWriter struct {
+	vals   []uint64
+	closed bool
+}
+
+func (w *uncomprWriter) Write(vals []uint64) error {
+	w.vals = append(w.vals, vals...)
+	return nil
+}
+
+func (w *uncomprWriter) Close() (*columns.Column, error) {
+	if w.closed {
+		return nil, fmt.Errorf("formats: writer already closed")
+	}
+	w.closed = true
+	return columns.FromValues(w.vals), nil
+}

@@ -1,0 +1,322 @@
+package monetsim
+
+import (
+	"fmt"
+
+	"morphstore/internal/bitutil"
+	"morphstore/internal/ops"
+)
+
+// The scalar BAT operators. Kernels are generic over the byte-aligned
+// element types so the narrow-types mode runs genuinely narrow inner loops
+// (smaller memory traffic), exactly like MonetDB's type-specialized
+// operator implementations.
+
+type unsigned interface {
+	~uint8 | ~uint16 | ~uint32 | ~uint64
+}
+
+// dispatch1 runs the width-specialized kernel for b.
+func selectCmp(b *BAT, cmp bitutil.CmpKind, val uint64) *BAT {
+	switch b.w {
+	case W8:
+		return selectCmpT(b.u8, cmp, val)
+	case W16:
+		return selectCmpT(b.u16, cmp, val)
+	case W32:
+		return selectCmpT(b.u32, cmp, val)
+	default:
+		return selectCmpT(b.u64, cmp, val)
+	}
+}
+
+func selectCmpT[T unsigned](vals []T, cmp bitutil.CmpKind, val uint64) *BAT {
+	out := make([]uint64, 0, len(vals)/4)
+	switch cmp {
+	case bitutil.CmpEq:
+		for i, v := range vals {
+			if uint64(v) == val {
+				out = append(out, uint64(i))
+			}
+		}
+	case bitutil.CmpNe:
+		for i, v := range vals {
+			if uint64(v) != val {
+				out = append(out, uint64(i))
+			}
+		}
+	case bitutil.CmpLt:
+		for i, v := range vals {
+			if uint64(v) < val {
+				out = append(out, uint64(i))
+			}
+		}
+	case bitutil.CmpLe:
+		for i, v := range vals {
+			if uint64(v) <= val {
+				out = append(out, uint64(i))
+			}
+		}
+	case bitutil.CmpGt:
+		for i, v := range vals {
+			if uint64(v) > val {
+				out = append(out, uint64(i))
+			}
+		}
+	case bitutil.CmpGe:
+		for i, v := range vals {
+			if uint64(v) >= val {
+				out = append(out, uint64(i))
+			}
+		}
+	}
+	return FromValues(out)
+}
+
+func selectBetween(b *BAT, lo, hi uint64) *BAT {
+	switch b.w {
+	case W8:
+		return selectBetweenT(b.u8, lo, hi)
+	case W16:
+		return selectBetweenT(b.u16, lo, hi)
+	case W32:
+		return selectBetweenT(b.u32, lo, hi)
+	default:
+		return selectBetweenT(b.u64, lo, hi)
+	}
+}
+
+func selectBetweenT[T unsigned](vals []T, lo, hi uint64) *BAT {
+	out := make([]uint64, 0, len(vals)/4)
+	for i, v := range vals {
+		if uint64(v) >= lo && uint64(v) <= hi {
+			out = append(out, uint64(i))
+		}
+	}
+	return FromValues(out)
+}
+
+// project preserves the data BAT's width, like MonetDB's type-retaining
+// fetch-join.
+func project(data, pos *BAT) (*BAT, error) {
+	n := data.Len()
+	for i := 0; i < pos.Len(); i++ {
+		if p := pos.Get(i); p >= uint64(n) {
+			return nil, fmt.Errorf("monetsim: position %d out of range [0,%d)", p, n)
+		}
+	}
+	switch data.w {
+	case W8:
+		return &BAT{w: W8, u8: projectT(data.u8, pos)}, nil
+	case W16:
+		return &BAT{w: W16, u16: projectT(data.u16, pos)}, nil
+	case W32:
+		return &BAT{w: W32, u32: projectT(data.u32, pos)}, nil
+	default:
+		return &BAT{w: W64, u64: projectT(data.u64, pos)}, nil
+	}
+}
+
+func projectT[T unsigned](data []T, pos *BAT) []T {
+	out := make([]T, pos.Len())
+	if pos.w == W64 { // the common case: positions are 64-bit oids
+		for i, p := range pos.u64 {
+			out[i] = data[p]
+		}
+		return out
+	}
+	for i := range out {
+		out[i] = data[pos.Get(i)]
+	}
+	return out
+}
+
+func intersect(a, b *BAT) *BAT {
+	av, bv := a.Values(), b.Values()
+	out := make([]uint64, 0, min(len(av), len(bv)))
+	i, j := 0, 0
+	for i < len(av) && j < len(bv) {
+		switch {
+		case av[i] < bv[j]:
+			i++
+		case bv[j] < av[i]:
+			j++
+		default:
+			out = append(out, av[i])
+			i++
+			j++
+		}
+	}
+	return FromValues(out)
+}
+
+func mergeUnion(a, b *BAT) *BAT {
+	av, bv := a.Values(), b.Values()
+	out := make([]uint64, 0, len(av)+len(bv))
+	i, j := 0, 0
+	for i < len(av) || j < len(bv) {
+		switch {
+		case i < len(av) && (j >= len(bv) || av[i] < bv[j]):
+			out = append(out, av[i])
+			i++
+		case j < len(bv) && (i >= len(av) || bv[j] < av[i]):
+			out = append(out, bv[j])
+			j++
+		default:
+			out = append(out, av[i])
+			i++
+			j++
+		}
+	}
+	return FromValues(out)
+}
+
+func buildHash(keys *BAT) map[uint64]uint64 {
+	ht := make(map[uint64]uint64, keys.Len())
+	for i := 0; i < keys.Len(); i++ {
+		ht[keys.Get(i)] = uint64(i)
+	}
+	return ht
+}
+
+func semiJoin(probe, build *BAT) *BAT {
+	ht := buildHash(build)
+	out := make([]uint64, 0, probe.Len()/4)
+	switch probe.w {
+	case W8:
+		for i, v := range probe.u8 {
+			if _, ok := ht[uint64(v)]; ok {
+				out = append(out, uint64(i))
+			}
+		}
+	case W16:
+		for i, v := range probe.u16 {
+			if _, ok := ht[uint64(v)]; ok {
+				out = append(out, uint64(i))
+			}
+		}
+	case W32:
+		for i, v := range probe.u32 {
+			if _, ok := ht[uint64(v)]; ok {
+				out = append(out, uint64(i))
+			}
+		}
+	default:
+		for i, v := range probe.u64 {
+			if _, ok := ht[v]; ok {
+				out = append(out, uint64(i))
+			}
+		}
+	}
+	return FromValues(out)
+}
+
+func joinN1(probe, build *BAT) (probePos, buildPos *BAT) {
+	ht := buildHash(build)
+	outP := make([]uint64, 0, probe.Len()/4)
+	outB := make([]uint64, 0, probe.Len()/4)
+	for i := 0; i < probe.Len(); i++ {
+		if bp, ok := ht[probe.Get(i)]; ok {
+			outP = append(outP, uint64(i))
+			outB = append(outB, bp)
+		}
+	}
+	return FromValues(outP), FromValues(outB)
+}
+
+func groupFirst(keys *BAT) (gids, extents *BAT) {
+	ht := make(map[uint64]uint64, 1024)
+	g := make([]uint64, keys.Len())
+	var ext []uint64
+	next := uint64(0)
+	for i := 0; i < keys.Len(); i++ {
+		k := keys.Get(i)
+		gid, ok := ht[k]
+		if !ok {
+			gid = next
+			ht[k] = gid
+			ext = append(ext, uint64(i))
+			next++
+		}
+		g[i] = gid
+	}
+	return FromValues(g), FromValues(ext)
+}
+
+func groupNext(prev, keys *BAT) (gids, extents *BAT, err error) {
+	if prev.Len() != keys.Len() {
+		return nil, nil, fmt.Errorf("monetsim: group inputs have %d and %d elements", prev.Len(), keys.Len())
+	}
+	ht := make(map[[2]uint64]uint64, 1024)
+	g := make([]uint64, keys.Len())
+	var ext []uint64
+	next := uint64(0)
+	for i := 0; i < keys.Len(); i++ {
+		pk := [2]uint64{prev.Get(i), keys.Get(i)}
+		gid, ok := ht[pk]
+		if !ok {
+			gid = next
+			ht[pk] = gid
+			ext = append(ext, uint64(i))
+			next++
+		}
+		g[i] = gid
+	}
+	return FromValues(g), FromValues(ext), nil
+}
+
+func sumWhole(vals *BAT) *BAT {
+	var total uint64
+	switch vals.w {
+	case W8:
+		for _, v := range vals.u8 {
+			total += uint64(v)
+		}
+	case W16:
+		for _, v := range vals.u16 {
+			total += uint64(v)
+		}
+	case W32:
+		for _, v := range vals.u32 {
+			total += uint64(v)
+		}
+	default:
+		for _, v := range vals.u64 {
+			total += v
+		}
+	}
+	return FromValues([]uint64{total})
+}
+
+func sumGrouped(gids, vals *BAT, nGroups int) (*BAT, error) {
+	if gids.Len() != vals.Len() {
+		return nil, fmt.Errorf("monetsim: grouped sum inputs have %d and %d elements", gids.Len(), vals.Len())
+	}
+	sums := make([]uint64, nGroups)
+	for i := 0; i < gids.Len(); i++ {
+		g := gids.Get(i)
+		if g >= uint64(nGroups) {
+			return nil, fmt.Errorf("monetsim: group id %d out of range [0,%d)", g, nGroups)
+		}
+		sums[g] += vals.Get(i)
+	}
+	return FromValues(sums), nil
+}
+
+func calc(op ops.CalcKind, a, b *BAT) (*BAT, error) {
+	if a.Len() != b.Len() {
+		return nil, fmt.Errorf("monetsim: calc inputs have %d and %d elements", a.Len(), b.Len())
+	}
+	out := make([]uint64, a.Len())
+	for i := range out {
+		out[i] = op.Eval(a.Get(i), b.Get(i))
+	}
+	return FromValues(out), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

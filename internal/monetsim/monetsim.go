@@ -1,0 +1,251 @@
+// Package monetsim is a from-scratch MonetDB-style analytical engine: the
+// baseline system of the paper's comparison (Fig. 1, Fig. 9). It follows
+// MonetDB's operator-at-a-time model over headless BATs — every operator
+// runs to completion over plain uncompressed arrays, scalar code only, no
+// SIMD — and interprets the very same query execution plans as the
+// MorphStore engine (same operators, same join order).
+//
+// Two storage modes reproduce the paper's two MonetDB series:
+//
+//   - Wide: every column is a []uint64 ("MonetDB scalar, 64-bit"),
+//   - Narrow: every base column uses the narrowest byte-aligned integer
+//     type that fits its values, 8/16/32/64 bits ("MonetDB, narrow types"),
+//     the paper's §5.2 simulation of compressed base data in MonetDB.
+package monetsim
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"morphstore/internal/core"
+)
+
+// Width is a byte-aligned SQL-style integer width.
+type Width uint8
+
+// The four byte-aligned widths (TINYINT..BIGINT).
+const (
+	W8 Width = iota
+	W16
+	W32
+	W64
+)
+
+// BAT is one column in MonetDB's headless-BAT sense: a value sequence in one
+// of the byte-aligned integer types.
+type BAT struct {
+	w   Width
+	u8  []uint8
+	u16 []uint16
+	u32 []uint32
+	u64 []uint64
+}
+
+// FromValues stores vals as a 64-bit BAT (the wide storage mode).
+func FromValues(vals []uint64) *BAT { return &BAT{w: W64, u64: vals} }
+
+// FromValuesNarrow stores vals using the narrowest byte-aligned type.
+func FromValuesNarrow(vals []uint64) *BAT {
+	var acc uint64
+	for _, v := range vals {
+		acc |= v
+	}
+	switch {
+	case bits.Len64(acc) <= 8:
+		out := make([]uint8, len(vals))
+		for i, v := range vals {
+			out[i] = uint8(v)
+		}
+		return &BAT{w: W8, u8: out}
+	case bits.Len64(acc) <= 16:
+		out := make([]uint16, len(vals))
+		for i, v := range vals {
+			out[i] = uint16(v)
+		}
+		return &BAT{w: W16, u16: out}
+	case bits.Len64(acc) <= 32:
+		out := make([]uint32, len(vals))
+		for i, v := range vals {
+			out[i] = uint32(v)
+		}
+		return &BAT{w: W32, u32: out}
+	default:
+		return &BAT{w: W64, u64: vals}
+	}
+}
+
+// Len returns the number of elements.
+func (b *BAT) Len() int {
+	switch b.w {
+	case W8:
+		return len(b.u8)
+	case W16:
+		return len(b.u16)
+	case W32:
+		return len(b.u32)
+	default:
+		return len(b.u64)
+	}
+}
+
+// Get returns element i widened to uint64.
+func (b *BAT) Get(i int) uint64 {
+	switch b.w {
+	case W8:
+		return uint64(b.u8[i])
+	case W16:
+		return uint64(b.u16[i])
+	case W32:
+		return uint64(b.u32[i])
+	default:
+		return b.u64[i]
+	}
+}
+
+// Values returns all elements widened to uint64.
+func (b *BAT) Values() []uint64 {
+	if b.w == W64 {
+		return b.u64
+	}
+	out := make([]uint64, b.Len())
+	for i := range out {
+		out[i] = b.Get(i)
+	}
+	return out
+}
+
+// PhysicalBytes returns the heap size of the BAT's payload.
+func (b *BAT) PhysicalBytes() int {
+	switch b.w {
+	case W8:
+		return len(b.u8)
+	case W16:
+		return 2 * len(b.u16)
+	case W32:
+		return 4 * len(b.u32)
+	default:
+		return 8 * len(b.u64)
+	}
+}
+
+// DB is the base data of the baseline engine.
+type DB struct {
+	Tables map[string]map[string]*BAT
+}
+
+// NewDB converts a core database into baseline storage; narrow selects the
+// narrow-types mode.
+func NewDB(src *core.DB, narrow bool) (*DB, error) {
+	out := &DB{Tables: make(map[string]map[string]*BAT)}
+	for tn, t := range src.Tables {
+		cols := make(map[string]*BAT, len(t.Cols))
+		for cn, col := range t.Cols {
+			vals, ok := col.Values()
+			if !ok {
+				return nil, fmt.Errorf("monetsim: base column %s.%s is compressed; the baseline stores plain arrays", tn, cn)
+			}
+			if narrow {
+				cols[cn] = FromValuesNarrow(vals)
+			} else {
+				cols[cn] = FromValues(vals)
+			}
+		}
+		out.Tables[tn] = cols
+	}
+	return out, nil
+}
+
+// Result is the outcome of a baseline execution.
+type Result struct {
+	// Cols holds the result columns by name.
+	Cols map[string][]uint64
+	// Runtime is the total operator time.
+	Runtime time.Duration
+	// Footprint is the physical size of scanned base columns plus all
+	// materialized intermediates.
+	Footprint int
+}
+
+// Execute interprets the plan with scalar operator-at-a-time processing.
+// The storage mode (wide or narrow) was fixed when the DB was built.
+func Execute(p *core.Plan, db *DB) (*Result, error) {
+	nodes := p.Nodes()
+	outs := make([][]*BAT, len(nodes))
+	res := &Result{Cols: make(map[string][]uint64)}
+
+	in := func(r core.InputRef) *BAT { return outs[r.Node][r.Out] }
+
+	start := time.Now()
+	for _, n := range nodes {
+		var produced []*BAT
+		switch n.Op {
+		case core.OpScan:
+			t, ok := db.Tables[n.Table]
+			if !ok {
+				return nil, fmt.Errorf("monetsim: unknown table %q", n.Table)
+			}
+			c, ok := t[n.Column]
+			if !ok {
+				return nil, fmt.Errorf("monetsim: unknown column %s.%s", n.Table, n.Column)
+			}
+			produced = []*BAT{c}
+		case core.OpSelect:
+			produced = []*BAT{selectCmp(in(n.Inputs[0]), n.Cmp, n.Val)}
+		case core.OpBetween:
+			produced = []*BAT{selectBetween(in(n.Inputs[0]), n.Val, n.Val2)}
+		case core.OpProject:
+			b, err := project(in(n.Inputs[0]), in(n.Inputs[1]))
+			if err != nil {
+				return nil, err
+			}
+			produced = []*BAT{b}
+		case core.OpIntersect:
+			produced = []*BAT{intersect(in(n.Inputs[0]), in(n.Inputs[1]))}
+		case core.OpMerge:
+			produced = []*BAT{mergeUnion(in(n.Inputs[0]), in(n.Inputs[1]))}
+		case core.OpSemiJoin:
+			produced = []*BAT{semiJoin(in(n.Inputs[0]), in(n.Inputs[1]))}
+		case core.OpJoinN1:
+			pp, bp := joinN1(in(n.Inputs[0]), in(n.Inputs[1]))
+			produced = []*BAT{pp, bp}
+		case core.OpGroupFirst:
+			g, e := groupFirst(in(n.Inputs[0]))
+			produced = []*BAT{g, e}
+		case core.OpGroupNext:
+			g, e, err := groupNext(in(n.Inputs[0]), in(n.Inputs[1]))
+			if err != nil {
+				return nil, err
+			}
+			produced = []*BAT{g, e}
+		case core.OpSumWhole:
+			produced = []*BAT{sumWhole(in(n.Inputs[0]))}
+		case core.OpSumGrouped:
+			b, err := sumGrouped(in(n.Inputs[0]), in(n.Inputs[2]), in(n.Inputs[1]).Len())
+			if err != nil {
+				return nil, err
+			}
+			produced = []*BAT{b}
+		case core.OpCalc:
+			b, err := calc(n.Calc, in(n.Inputs[0]), in(n.Inputs[1]))
+			if err != nil {
+				return nil, err
+			}
+			produced = []*BAT{b}
+		default:
+			return nil, fmt.Errorf("monetsim: unknown operator %v", n.Op)
+		}
+		outs[n.ID] = produced
+		for _, b := range produced {
+			res.Footprint += b.PhysicalBytes()
+		}
+	}
+	res.Runtime = time.Since(start)
+
+	sinks := p.Sinks()
+	names := p.SinkNames()
+	for i, r := range sinks {
+		res.Cols[names[i]] = outs[r.Node][r.Out].Values()
+	}
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package ops
+
+import (
+	"fmt"
+
+	"morphstore/internal/columns"
+	"morphstore/internal/formats"
+	"morphstore/internal/vector"
+)
+
+// SumWhole computes the sum of all elements (modulo 2^64) and returns it
+// both as a scalar and as a single-element column. Query result columns are
+// always uncompressed (§3.3), so no output format is taken.
+func SumWhole(in *columns.Column, style vector.Style) (uint64, *columns.Column, error) {
+	if err := checkCols(in); err != nil {
+		return 0, nil, err
+	}
+	r, err := formats.NewReader(in)
+	if err != nil {
+		return 0, nil, err
+	}
+	var total uint64
+	process := func(vals []uint64, _ uint64) error {
+		if style == vector.Vec512 {
+			total += sumKernelVec(vals)
+		} else {
+			for _, v := range vals {
+				total += v
+			}
+		}
+		return nil
+	}
+	if err := streamBlocks(r, process); err != nil {
+		return 0, nil, fmt.Errorf("ops: sum: %w", err)
+	}
+	return total, columns.FromValues([]uint64{total}), nil
+}
+
+// sumKernelVec accumulates eight lanes at a time.
+func sumKernelVec(vals []uint64) uint64 {
+	var acc vector.Vec
+	i := 0
+	for ; i+vector.Lanes <= len(vals); i += vector.Lanes {
+		acc = vector.Add(acc, vector.Load(vals[i:]))
+	}
+	total := acc.HSum()
+	for ; i < len(vals); i++ {
+		total += vals[i]
+	}
+	return total
+}
+
+// SumGrouped aggregates vals per group id: result[g] = sum of vals[i] where
+// gids[i] == g, for g in [0, nGroups). The two inputs stream in lockstep;
+// the result involves random writes and is therefore an uncompressed column
+// (§4.2: random write access targets the query's result columns, which stay
+// uncompressed anyway).
+func SumGrouped(gids, vals *columns.Column, nGroups int, style vector.Style) (*columns.Column, error) {
+	if err := checkCols(gids, vals); err != nil {
+		return nil, err
+	}
+	if gids.N() != vals.N() {
+		return nil, fmt.Errorf("ops: grouped sum: gids has %d elements, vals %d", gids.N(), vals.N())
+	}
+	if nGroups < 0 {
+		return nil, fmt.Errorf("ops: grouped sum: negative group count %d", nGroups)
+	}
+	rg, err := formats.NewReader(gids)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := formats.NewReader(vals)
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]uint64, nGroups)
+	bufG := make([]uint64, blockBuf)
+	bufV := make([]uint64, blockBuf)
+	for {
+		ng, err := readFull(rg, bufG)
+		if err != nil {
+			return nil, fmt.Errorf("ops: grouped sum: %w", err)
+		}
+		nv, err := readFull(rv, bufV[:min(len(bufV), max(ng, 1))])
+		if err != nil {
+			return nil, fmt.Errorf("ops: grouped sum: %w", err)
+		}
+		if ng == 0 && nv == 0 {
+			break
+		}
+		if ng != nv {
+			return nil, fmt.Errorf("ops: grouped sum: input columns diverge (%d vs %d elements)", ng, nv)
+		}
+		for i := 0; i < ng; i++ {
+			g := bufG[i]
+			if g >= uint64(nGroups) {
+				return nil, fmt.Errorf("ops: grouped sum: group id %d out of range [0,%d)", g, nGroups)
+			}
+			sums[g] += bufV[i]
+		}
+	}
+	return columns.FromValues(sums), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,195 @@
+package ops
+
+import (
+	"fmt"
+
+	"morphstore/internal/columns"
+	"morphstore/internal/formats"
+	"morphstore/internal/vector"
+)
+
+// GroupFirst assigns a dense group id (in order of first occurrence) to
+// every element of keys. It returns two columns, MonetDB-style:
+//
+//   - gids: one group id per input element (length keys.N()),
+//   - extents: for each group, the position of its first occurrence
+//     (length = number of groups); projecting the key column with extents
+//     yields the per-group key values.
+func GroupFirst(keys *columns.Column, outGids, outExtents columns.FormatDesc, style vector.Style) (gids, extents *columns.Column, err error) {
+	if err := checkCols(keys); err != nil {
+		return nil, nil, err
+	}
+	wg, err := formats.NewWriter(outGids, keys.N())
+	if err != nil {
+		return nil, nil, err
+	}
+	we, err := formats.NewWriter(outExtents, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := formats.NewReader(keys)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	ht := newU64Map(1024)
+	nGroups := uint64(0)
+	stage := make([]uint64, blockBuf)
+	ext := make([]uint64, 0, 256)
+
+	process := func(vals []uint64, base uint64) error {
+		for i, v := range vals {
+			gid, inserted := ht.getOrPut(v, nGroups)
+			if inserted {
+				ext = append(ext, base+uint64(i))
+				nGroups++
+			}
+			stage[i] = gid
+		}
+		return wg.Write(stage[:len(vals)])
+	}
+	if err := streamBlocks(r, process); err != nil {
+		return nil, nil, fmt.Errorf("ops: group: %w", err)
+	}
+	if err := we.Write(ext); err != nil {
+		return nil, nil, err
+	}
+	gids, err = wg.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	extents, err = we.Close()
+	return gids, extents, err
+}
+
+// GroupNext refines an existing grouping with an additional key column: rows
+// fall into the same output group iff they had the same previous group id
+// and the same new key (the iterative multi-column grouping of MonetDB's
+// group.subgroup). Outputs follow the GroupFirst conventions.
+func GroupNext(prevGids, keys *columns.Column, outGids, outExtents columns.FormatDesc, style vector.Style) (gids, extents *columns.Column, err error) {
+	if err := checkCols(prevGids, keys); err != nil {
+		return nil, nil, err
+	}
+	if prevGids.N() != keys.N() {
+		return nil, nil, fmt.Errorf("ops: group: gid column has %d elements, keys %d", prevGids.N(), keys.N())
+	}
+	wg, err := formats.NewWriter(outGids, keys.N())
+	if err != nil {
+		return nil, nil, err
+	}
+	we, err := formats.NewWriter(outExtents, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	rg, err := formats.NewReader(prevGids)
+	if err != nil {
+		return nil, nil, err
+	}
+	rk, err := formats.NewReader(keys)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	ht := newPairMap(1024)
+	nGroups := uint64(0)
+	stage := make([]uint64, blockBuf)
+	ext := make([]uint64, 0, 256)
+
+	bufG := make([]uint64, blockBuf)
+	bufK := make([]uint64, blockBuf)
+	base := uint64(0)
+	for {
+		ng, err := readFull(rg, bufG)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ops: group: %w", err)
+		}
+		nk, err := readFull(rk, bufK[:min(len(bufK), ng)])
+		if err != nil {
+			return nil, nil, fmt.Errorf("ops: group: %w", err)
+		}
+		if ng == 0 && nk == 0 {
+			break
+		}
+		if ng != nk {
+			return nil, nil, fmt.Errorf("ops: group: input columns diverge (%d vs %d elements)", ng, nk)
+		}
+		for i := 0; i < ng; i++ {
+			gid, inserted := ht.getOrPut(bufG[i], bufK[i], nGroups)
+			if inserted {
+				ext = append(ext, base+uint64(i))
+				nGroups++
+			}
+			stage[i] = gid
+		}
+		if err := wg.Write(stage[:ng]); err != nil {
+			return nil, nil, err
+		}
+		base += uint64(ng)
+	}
+	if err := we.Write(ext); err != nil {
+		return nil, nil, err
+	}
+	gids, err = wg.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	extents, err = we.Close()
+	return gids, extents, err
+}
+
+// streamBlocks pulls blocks from r and hands them to process together with
+// the running element offset.
+func streamBlocks(r formats.Reader, process func(vals []uint64, base uint64) error) error {
+	if vv, ok := r.(formats.ValueViewer); ok {
+		if vals, viewable := vv.View(); viewable {
+			for off := 0; off < len(vals); off += blockBuf {
+				end := off + blockBuf
+				if end > len(vals) {
+					end = len(vals)
+				}
+				if err := process(vals[off:end], uint64(off)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	buf := make([]uint64, blockBuf)
+	base := uint64(0)
+	for {
+		k, err := r.Read(buf)
+		if err != nil {
+			return err
+		}
+		if k == 0 {
+			return nil
+		}
+		if err := process(buf[:k], base); err != nil {
+			return err
+		}
+		base += uint64(k)
+	}
+}
+
+// readFull reads from r until dst is full or the column is exhausted.
+func readFull(r formats.Reader, dst []uint64) (int, error) {
+	n := 0
+	for n < len(dst) {
+		k, err := r.Read(dst[n:])
+		if err != nil {
+			return n, err
+		}
+		if k == 0 {
+			break
+		}
+		n += k
+	}
+	return n, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,102 @@
+// Package ops implements MorphStore-Go's physical query operators with the
+// paper's four degrees of compression integration (§3.2, Fig. 2):
+//
+//   - purely uncompressed: kernels run directly over uncompressed columns
+//     (the zero-copy ValueViewer fast path),
+//   - on-the-fly de/re-compression: the default; the paper's three-layer
+//     architecture (Fig. 4) with a column layer (the exported operator
+//     functions), a buffer layer (format Readers/Writers working at
+//     Lx-cache-resident-block granularity), and a vector-register layer
+//     (format-oblivious kernels, specialized per processing Style),
+//   - specialized operators: direct processing of compressed data
+//     (SWAR select/sum on static BP, per-block sums on DynBP, run-level
+//     select/sum on RLE), in specialized.go,
+//   - on-the-fly morphing: adapting a column's format before/after an
+//     operator via internal/morph (driven by the engine in internal/core).
+//
+// The operator set follows MonetDB's headless-BAT style: every operator
+// consumes and produces plain columns of unsigned 64-bit integers; selection
+// results are sorted position lists, which are themselves ordinary columns
+// and therefore compressible like any other intermediate (DP1).
+package ops
+
+import (
+	"fmt"
+
+	"morphstore/internal/bitutil"
+	"morphstore/internal/columns"
+	"morphstore/internal/formats"
+)
+
+// blockBuf is the element capacity of the cache-resident working buffers:
+// 2048 elements = 16 KiB, half of a typical 32 KiB L1 data cache, matching
+// the paper's evaluation setup (§5).
+const blockBuf = formats.BufferLen
+
+// positionDesc refines a requested output format for a position list whose
+// values are known a priori to be < n: an auto-width static BP output can
+// then be packed streamingly at width bits(n-1) instead of buffering the
+// whole column to find the maximum.
+func positionDesc(out columns.FormatDesc, n int) columns.FormatDesc {
+	if out.Kind == columns.StaticBP && out.Bits == 0 && n > 0 {
+		out.Bits = uint8(bitutil.EffectiveBits(uint64(n - 1)))
+	}
+	return out
+}
+
+// errNilColumn guards the exported operators against nil inputs.
+func checkCols(cs ...*columns.Column) error {
+	for _, c := range cs {
+		if c == nil {
+			return fmt.Errorf("ops: nil input column")
+		}
+	}
+	return nil
+}
+
+// pullReader adapts a block Reader for streaming consumers that need
+// element-at-a-time access with lookahead (merge-style operators).
+type pullReader struct {
+	r   formats.Reader
+	buf []uint64
+	pos int
+	n   int
+	err error
+}
+
+func newPullReader(col *columns.Column) (*pullReader, error) {
+	r, err := formats.NewReader(col)
+	if err != nil {
+		return nil, err
+	}
+	return &pullReader{r: r, buf: make([]uint64, blockBuf)}, nil
+}
+
+// fill loads the next block; it reports whether data is available.
+func (p *pullReader) fill() bool {
+	if p.err != nil {
+		return false
+	}
+	p.n, p.err = p.r.Read(p.buf)
+	p.pos = 0
+	return p.n > 0 && p.err == nil
+}
+
+// peek returns the current element; ok is false at end of input or error.
+func (p *pullReader) peek() (uint64, bool) {
+	if p.pos >= p.n && !p.fill() {
+		return 0, false
+	}
+	return p.buf[p.pos], true
+}
+
+// advance moves past the current element.
+func (p *pullReader) advance() { p.pos++ }
+
+// readAll fully decompresses a column (used for small build sides).
+func readAll(col *columns.Column) ([]uint64, error) {
+	if vals, ok := col.Values(); ok {
+		return vals, nil
+	}
+	return formats.Decompress(col)
+}

@@ -1,0 +1,89 @@
+package ops
+
+import (
+	"fmt"
+
+	"morphstore/internal/columns"
+	"morphstore/internal/formats"
+	"morphstore/internal/vector"
+)
+
+// Project gathers data[pos[i]] for every position in pos, producing a column
+// of the same length as pos in the requested output format. The positions
+// are read sequentially (they are a selection result); the data column is
+// read with random access and must therefore be uncompressed or static BP
+// (§4.2) — the engine inserts an on-the-fly morph otherwise.
+func Project(data, pos *columns.Column, out columns.FormatDesc, style vector.Style) (*columns.Column, error) {
+	if err := checkCols(data, pos); err != nil {
+		return nil, err
+	}
+	ra, err := formats.RandomAccess(data)
+	if err != nil {
+		return nil, fmt.Errorf("ops: project: %w", err)
+	}
+	r, err := formats.NewReader(pos)
+	if err != nil {
+		return nil, err
+	}
+	w, err := formats.NewWriter(out, pos.N())
+	if err != nil {
+		return nil, err
+	}
+
+	stage := make([]uint64, blockBuf)
+
+	// Vec512 gather fast path over an uncompressed data column.
+	vals, direct := data.Values()
+	useVecGather := direct && style == vector.Vec512
+
+	buf := make([]uint64, blockBuf)
+	for {
+		k, err := r.Read(buf)
+		if err != nil {
+			return nil, fmt.Errorf("ops: project: %w", err)
+		}
+		if k == 0 {
+			break
+		}
+		if err := checkPositions(buf[:k], data.N()); err != nil {
+			return nil, err
+		}
+		if useVecGather {
+			gatherKernelVec(vals, buf[:k], stage)
+		} else {
+			ra.Gather(stage[:k], buf[:k])
+		}
+		if err := w.Write(stage[:k]); err != nil {
+			return nil, err
+		}
+	}
+	return w.Close()
+}
+
+// checkPositions validates that all positions address the data column.
+func checkPositions(pos []uint64, n int) error {
+	var acc uint64
+	for _, p := range pos {
+		acc |= p
+	}
+	if acc >= uint64(n) {
+		for _, p := range pos {
+			if p >= uint64(n) {
+				return fmt.Errorf("ops: project: position %d out of range [0,%d)", p, n)
+			}
+		}
+	}
+	return nil
+}
+
+// gatherKernelVec gathers eight positions per step.
+func gatherKernelVec(vals []uint64, pos []uint64, stage []uint64) {
+	i := 0
+	for ; i+vector.Lanes <= len(pos); i += vector.Lanes {
+		idx := vector.Load(pos[i:])
+		vector.Gather(vals, idx).Store(stage[i:])
+	}
+	for ; i < len(pos); i++ {
+		stage[i] = vals[pos[i]]
+	}
+}

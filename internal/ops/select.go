@@ -1,0 +1,268 @@
+package ops
+
+import (
+	"fmt"
+
+	"morphstore/internal/bitutil"
+	"morphstore/internal/columns"
+	"morphstore/internal/formats"
+	"morphstore/internal/vector"
+)
+
+// Select evaluates the predicate `element <op> val` over the input column and
+// returns the sorted list of matching positions as a column in the requested
+// output format. It is the on-the-fly de/re-compression operator of Fig. 4:
+// the input is decompressed block-wise into a cache-resident buffer, the
+// vector-register-layer kernel emits qualifying positions, and the output
+// writer recompresses them block-wise.
+func Select(in *columns.Column, op bitutil.CmpKind, val uint64, out columns.FormatDesc, style vector.Style) (*columns.Column, error) {
+	if err := checkCols(in); err != nil {
+		return nil, err
+	}
+	w, err := formats.NewWriter(positionDesc(out, in.N()), in.N())
+	if err != nil {
+		return nil, err
+	}
+	r, err := formats.NewReader(in)
+	if err != nil {
+		return nil, err
+	}
+	stage := make([]uint64, blockBuf)
+
+	// Purely-uncompressed fast path: direct access to the whole column.
+	if vv, ok := r.(formats.ValueViewer); ok {
+		if vals, viewable := vv.View(); viewable {
+			if err := selectOver(vals, 0, op, val, style, stage, w); err != nil {
+				return nil, err
+			}
+			return w.Close()
+		}
+	}
+
+	buf := make([]uint64, blockBuf)
+	base := uint64(0)
+	for {
+		k, err := r.Read(buf)
+		if err != nil {
+			return nil, fmt.Errorf("ops: select: %w", err)
+		}
+		if k == 0 {
+			break
+		}
+		if err := selectOver(buf[:k], base, op, val, style, stage, w); err != nil {
+			return nil, err
+		}
+		base += uint64(k)
+	}
+	return w.Close()
+}
+
+// selectOver runs the select kernel over one uncompressed block, staging
+// matching positions and writing them out in blockBuf-sized batches.
+func selectOver(vals []uint64, base uint64, op bitutil.CmpKind, val uint64, style vector.Style, stage []uint64, w formats.Writer) error {
+	for off := 0; off < len(vals); off += blockBuf {
+		end := off + blockBuf
+		if end > len(vals) {
+			end = len(vals)
+		}
+		var k int
+		if style == vector.Vec512 {
+			k = selectKernelVec(vals[off:end], base+uint64(off), op, val, stage)
+		} else {
+			k = selectKernelScalar(vals[off:end], base+uint64(off), op, val, stage)
+		}
+		if err := w.Write(stage[:k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// selectKernelScalar is the scalar specialization of the select core.
+func selectKernelScalar(vals []uint64, base uint64, op bitutil.CmpKind, val uint64, stage []uint64) int {
+	k := 0
+	switch op {
+	case bitutil.CmpEq:
+		for i, v := range vals {
+			if v == val {
+				stage[k] = base + uint64(i)
+				k++
+			}
+		}
+	case bitutil.CmpNe:
+		for i, v := range vals {
+			if v != val {
+				stage[k] = base + uint64(i)
+				k++
+			}
+		}
+	case bitutil.CmpLt:
+		for i, v := range vals {
+			if v < val {
+				stage[k] = base + uint64(i)
+				k++
+			}
+		}
+	case bitutil.CmpLe:
+		for i, v := range vals {
+			if v <= val {
+				stage[k] = base + uint64(i)
+				k++
+			}
+		}
+	case bitutil.CmpGt:
+		for i, v := range vals {
+			if v > val {
+				stage[k] = base + uint64(i)
+				k++
+			}
+		}
+	case bitutil.CmpGe:
+		for i, v := range vals {
+			if v >= val {
+				stage[k] = base + uint64(i)
+				k++
+			}
+		}
+	}
+	return k
+}
+
+// vecCmp applies the comparison to two registers, producing a lane mask.
+func vecCmp(a, b vector.Vec, op bitutil.CmpKind) vector.Mask {
+	switch op {
+	case bitutil.CmpEq:
+		return vector.CmpEq(a, b)
+	case bitutil.CmpNe:
+		return vector.CmpNe(a, b)
+	case bitutil.CmpLt:
+		return vector.CmpLt(a, b)
+	case bitutil.CmpLe:
+		return vector.CmpLe(a, b)
+	case bitutil.CmpGt:
+		return vector.CmpGt(a, b)
+	case bitutil.CmpGe:
+		return vector.CmpGe(a, b)
+	default:
+		return 0
+	}
+}
+
+// selectKernelVec is the Vec512 specialization: compare eight lanes at a
+// time and compress-store the qualifying positions.
+func selectKernelVec(vals []uint64, base uint64, op bitutil.CmpKind, val uint64, stage []uint64) int {
+	bcast := vector.Set1(val)
+	k := 0
+	i := 0
+	for ; i+vector.Lanes <= len(vals); i += vector.Lanes {
+		v := vector.Load(vals[i:])
+		m := vecCmp(v, bcast, op)
+		if m != 0 {
+			k += vector.CompressStore(stage[k:], m, vector.SeqFrom(base+uint64(i)))
+		}
+	}
+	for ; i < len(vals); i++ {
+		if op.Eval(vals[i], val) {
+			stage[k] = base + uint64(i)
+			k++
+		}
+	}
+	return k
+}
+
+// SelectBetween evaluates the conjunctive range predicate
+// lo <= element <= hi, returning matching positions like Select.
+func SelectBetween(in *columns.Column, lo, hi uint64, out columns.FormatDesc, style vector.Style) (*columns.Column, error) {
+	if err := checkCols(in); err != nil {
+		return nil, err
+	}
+	w, err := formats.NewWriter(positionDesc(out, in.N()), in.N())
+	if err != nil {
+		return nil, err
+	}
+	r, err := formats.NewReader(in)
+	if err != nil {
+		return nil, err
+	}
+	stage := make([]uint64, blockBuf)
+
+	if vv, ok := r.(formats.ValueViewer); ok {
+		if vals, viewable := vv.View(); viewable {
+			if err := betweenOver(vals, 0, lo, hi, style, stage, w); err != nil {
+				return nil, err
+			}
+			return w.Close()
+		}
+	}
+
+	buf := make([]uint64, blockBuf)
+	base := uint64(0)
+	for {
+		k, err := r.Read(buf)
+		if err != nil {
+			return nil, fmt.Errorf("ops: select between: %w", err)
+		}
+		if k == 0 {
+			break
+		}
+		if err := betweenOver(buf[:k], base, lo, hi, style, stage, w); err != nil {
+			return nil, err
+		}
+		base += uint64(k)
+	}
+	return w.Close()
+}
+
+func betweenOver(vals []uint64, base uint64, lo, hi uint64, style vector.Style, stage []uint64, w formats.Writer) error {
+	for off := 0; off < len(vals); off += blockBuf {
+		end := off + blockBuf
+		if end > len(vals) {
+			end = len(vals)
+		}
+		var k int
+		if style == vector.Vec512 {
+			k = betweenKernelVec(vals[off:end], base+uint64(off), lo, hi, stage)
+		} else {
+			k = betweenKernelScalar(vals[off:end], base+uint64(off), lo, hi, stage)
+		}
+		if err := w.Write(stage[:k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func betweenKernelScalar(vals []uint64, base uint64, lo, hi uint64, stage []uint64) int {
+	k := 0
+	// v-lo <= hi-lo is a single unsigned comparison for lo <= v <= hi.
+	span := hi - lo
+	for i, v := range vals {
+		if v-lo <= span {
+			stage[k] = base + uint64(i)
+			k++
+		}
+	}
+	return k
+}
+
+func betweenKernelVec(vals []uint64, base uint64, lo, hi uint64, stage []uint64) int {
+	vlo := vector.Set1(lo)
+	vspan := vector.Set1(hi - lo)
+	k := 0
+	i := 0
+	for ; i+vector.Lanes <= len(vals); i += vector.Lanes {
+		v := vector.Load(vals[i:])
+		m := vector.CmpLe(vector.Sub(v, vlo), vspan)
+		if m != 0 {
+			k += vector.CompressStore(stage[k:], m, vector.SeqFrom(base+uint64(i)))
+		}
+	}
+	span := hi - lo
+	for ; i < len(vals); i++ {
+		if vals[i]-lo <= span {
+			stage[k] = base + uint64(i)
+			k++
+		}
+	}
+	return k
+}

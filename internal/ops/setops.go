@@ -1,0 +1,140 @@
+package ops
+
+import (
+	"fmt"
+
+	"morphstore/internal/columns"
+	"morphstore/internal/formats"
+)
+
+// IntersectSorted merges two sorted position lists into their intersection
+// (the conjunction of two selections on the same table, e.g. the discount
+// and quantity predicates of SSB Q1.x). Inputs stream block-wise; the output
+// is recompressed in the requested format.
+func IntersectSorted(a, b *columns.Column, out columns.FormatDesc) (*columns.Column, error) {
+	if err := checkCols(a, b); err != nil {
+		return nil, err
+	}
+	pa, err := newPullReader(a)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := newPullReader(b)
+	if err != nil {
+		return nil, err
+	}
+	w, err := formats.NewWriter(out, min(a.N(), b.N()))
+	if err != nil {
+		return nil, err
+	}
+	stage := make([]uint64, blockBuf)
+	k := 0
+	flush := func() error {
+		err := w.Write(stage[:k])
+		k = 0
+		return err
+	}
+	va, oka := pa.peek()
+	vb, okb := pb.peek()
+	for oka && okb {
+		switch {
+		case va < vb:
+			pa.advance()
+			va, oka = pa.peek()
+		case vb < va:
+			pb.advance()
+			vb, okb = pb.peek()
+		default:
+			stage[k] = va
+			k++
+			if k == len(stage) {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+			pa.advance()
+			pb.advance()
+			va, oka = pa.peek()
+			vb, okb = pb.peek()
+		}
+	}
+	if pa.err != nil {
+		return nil, fmt.Errorf("ops: intersect: %w", pa.err)
+	}
+	if pb.err != nil {
+		return nil, fmt.Errorf("ops: intersect: %w", pb.err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return w.Close()
+}
+
+// MergeSorted merges two sorted position lists into their union without
+// duplicates (the disjunction of two selections, e.g. the two-city IN
+// predicates of SSB Q3.3/Q3.4).
+func MergeSorted(a, b *columns.Column, out columns.FormatDesc) (*columns.Column, error) {
+	if err := checkCols(a, b); err != nil {
+		return nil, err
+	}
+	pa, err := newPullReader(a)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := newPullReader(b)
+	if err != nil {
+		return nil, err
+	}
+	w, err := formats.NewWriter(out, a.N()+b.N())
+	if err != nil {
+		return nil, err
+	}
+	stage := make([]uint64, blockBuf)
+	k := 0
+	emit := func(v uint64) error {
+		stage[k] = v
+		k++
+		if k == len(stage) {
+			err := w.Write(stage[:k])
+			k = 0
+			return err
+		}
+		return nil
+	}
+	va, oka := pa.peek()
+	vb, okb := pb.peek()
+	for oka || okb {
+		switch {
+		case oka && (!okb || va < vb):
+			if err := emit(va); err != nil {
+				return nil, err
+			}
+			pa.advance()
+			va, oka = pa.peek()
+		case okb && (!oka || vb < va):
+			if err := emit(vb); err != nil {
+				return nil, err
+			}
+			pb.advance()
+			vb, okb = pb.peek()
+		default: // equal
+			if err := emit(va); err != nil {
+				return nil, err
+			}
+			pa.advance()
+			pb.advance()
+			va, oka = pa.peek()
+			vb, okb = pb.peek()
+		}
+	}
+	if pa.err != nil {
+		return nil, fmt.Errorf("ops: merge: %w", pa.err)
+	}
+	if pb.err != nil {
+		return nil, fmt.Errorf("ops: merge: %w", pb.err)
+	}
+	if err := w.Write(stage[:k]); err != nil {
+		return nil, err
+	}
+	return w.Close()
+}

@@ -1,0 +1,328 @@
+package ops
+
+import (
+	"fmt"
+	"math/bits"
+
+	"morphstore/internal/bitutil"
+	"morphstore/internal/columns"
+	"morphstore/internal/formats"
+	"morphstore/internal/vector"
+)
+
+// This file implements the "specialized operator" integration degree
+// (Fig. 2c): operators that process compressed data directly, without
+// decompressing into any buffer. They are format-specific by design and the
+// engine employs them selectively (§3.2), falling back to the on-the-fly
+// de/re-compression operators everywhere else.
+
+// CanSelectDirect reports whether SelectStaticBPDirect supports the column:
+// a static BP column whose width admits the word-parallel SWAR kernels.
+func CanSelectDirect(in *columns.Column) bool {
+	return in.Desc().Kind == columns.StaticBP &&
+		(bitutil.SwarWidthOK(uint(in.Desc().Bits)) || in.Desc().Bits == 0)
+}
+
+// SelectStaticBPDirect evaluates a comparison predicate directly on the
+// packed words of a static BP column using the SWAR kernels: 64/b fields
+// are tested per word-level instruction sequence, in the spirit of
+// BitWeaving/SIMD-Scan. The output positions are recompressed as usual.
+func SelectStaticBPDirect(in *columns.Column, op bitutil.CmpKind, val uint64, out columns.FormatDesc) (*columns.Column, error) {
+	if err := checkCols(in); err != nil {
+		return nil, err
+	}
+	if !CanSelectDirect(in) {
+		return nil, fmt.Errorf("ops: direct select unsupported for %v", in.Desc())
+	}
+	w, err := formats.NewWriter(positionDesc(out, in.N()), in.N())
+	if err != nil {
+		return nil, err
+	}
+	b := uint(in.Desc().Bits)
+	n := in.N()
+	stage := make([]uint64, blockBuf+64)
+
+	if b == 0 { // all-zero column: every element is 0
+		if op.Eval(0, val) {
+			k := 0
+			for i := 0; i < n; i++ {
+				stage[k] = uint64(i)
+				k++
+				if k == blockBuf {
+					if err := w.Write(stage[:k]); err != nil {
+						return nil, err
+					}
+					k = 0
+				}
+			}
+			if err := w.Write(stage[:k]); err != nil {
+				return nil, err
+			}
+		}
+		return w.Close()
+	}
+
+	// A predicate constant wider than the packed width decides the result
+	// for every field: fields are < 2^b <= val.
+	if val > bitutil.Mask(b) {
+		switch op {
+		case bitutil.CmpLt, bitutil.CmpLe, bitutil.CmpNe:
+			return Select(in, bitutil.CmpLe, bitutil.Mask(b), out, vector.Scalar) // all match
+		default: // Eq, Gt, Ge: nothing matches
+			return w.Close()
+		}
+	}
+
+	per := int(64 / b)
+	yb := bitutil.Broadcast(val, b)
+	words := in.MainWords()
+	k := 0
+	for wi, word := range words {
+		base := wi * per
+		valid := n - base
+		if valid <= 0 {
+			break
+		}
+		m := bitutil.CmpPackedWord(word, yb, b, op)
+		if valid < per {
+			m &= (uint64(1) << uint(valid)) - 1
+		}
+		for ; m != 0; m &= m - 1 {
+			stage[k] = uint64(base + bits.TrailingZeros64(m))
+			k++
+		}
+		if k >= blockBuf {
+			if err := w.Write(stage[:k]); err != nil {
+				return nil, err
+			}
+			k = 0
+		}
+	}
+	if err := w.Write(stage[:k]); err != nil {
+		return nil, err
+	}
+	return w.Close()
+}
+
+// SelectBetweenStaticBPDirect evaluates lo <= element <= hi directly on the
+// packed words by combining two SWAR comparison masks.
+func SelectBetweenStaticBPDirect(in *columns.Column, lo, hi uint64, out columns.FormatDesc) (*columns.Column, error) {
+	if err := checkCols(in); err != nil {
+		return nil, err
+	}
+	if !CanSelectDirect(in) {
+		return nil, fmt.Errorf("ops: direct select unsupported for %v", in.Desc())
+	}
+	b := uint(in.Desc().Bits)
+	if b == 0 {
+		if lo == 0 { // all-zero column within [lo, hi] iff lo == 0
+			return SelectBetween(in, lo, hi, out, vector.Scalar)
+		}
+		w, err := formats.NewWriter(out, 0)
+		if err != nil {
+			return nil, err
+		}
+		return w.Close()
+	}
+	w, err := formats.NewWriter(positionDesc(out, in.N()), in.N())
+	if err != nil {
+		return nil, err
+	}
+	n := in.N()
+	per := int(64 / b)
+	// Values above the packable range can never match a width-b field.
+	maxv := bitutil.Mask(b)
+	if lo > maxv {
+		return w.Close()
+	}
+	if hi > maxv {
+		hi = maxv
+	}
+	ylo := bitutil.Broadcast(lo, b)
+	yhi := bitutil.Broadcast(hi, b)
+	words := in.MainWords()
+	stage := make([]uint64, blockBuf+64)
+	k := 0
+	for wi, word := range words {
+		base := wi * per
+		valid := n - base
+		if valid <= 0 {
+			break
+		}
+		m := bitutil.CmpPackedWord(word, ylo, b, bitutil.CmpGe) &
+			bitutil.CmpPackedWord(word, yhi, b, bitutil.CmpLe)
+		if valid < per {
+			m &= (uint64(1) << uint(valid)) - 1
+		}
+		for ; m != 0; m &= m - 1 {
+			stage[k] = uint64(base + bits.TrailingZeros64(m))
+			k++
+		}
+		if k >= blockBuf {
+			if err := w.Write(stage[:k]); err != nil {
+				return nil, err
+			}
+			k = 0
+		}
+	}
+	if err := w.Write(stage[:k]); err != nil {
+		return nil, err
+	}
+	return w.Close()
+}
+
+// SumStaticBPDirect sums a static BP column directly on the packed words via
+// window-parallel SWAR accumulation (the bit-parallel aggregation of Feng &
+// Lo [25]).
+func SumStaticBPDirect(in *columns.Column) (uint64, error) {
+	if err := checkCols(in); err != nil {
+		return 0, err
+	}
+	if in.Desc().Kind != columns.StaticBP {
+		return 0, fmt.Errorf("ops: direct sum unsupported for %v", in.Desc())
+	}
+	return bitutil.SumPackedWords(in.MainWords(), in.N(), uint(in.Desc().Bits)), nil
+}
+
+// SumDynBPDirect sums a DynBP column block by block directly on the packed
+// payload words, plus the uncompressed remainder.
+func SumDynBPDirect(in *columns.Column) (uint64, error) {
+	if err := checkCols(in); err != nil {
+		return 0, err
+	}
+	if in.Desc().Kind != columns.DynBP {
+		return 0, fmt.Errorf("ops: direct sum unsupported for %v", in.Desc())
+	}
+	words := in.MainWords()
+	var total uint64
+	w := 0
+	for e := 0; e < in.MainElems(); e += formats.BlockLen {
+		if w >= len(words) {
+			return 0, fmt.Errorf("ops: %w: dyn BP header beyond buffer", formats.ErrCorrupt)
+		}
+		b := uint(words[w])
+		if b > 64 {
+			return 0, fmt.Errorf("ops: %w: dyn BP width %d", formats.ErrCorrupt, b)
+		}
+		w++
+		pw := int(b) * (formats.BlockLen / 64)
+		if w+pw > len(words) {
+			return 0, fmt.Errorf("ops: %w: dyn BP payload beyond buffer", formats.ErrCorrupt)
+		}
+		total += bitutil.SumPackedWords(words[w:w+pw], formats.BlockLen, b)
+		w += pw
+	}
+	for _, v := range in.Remainder() {
+		total += v
+	}
+	return total, nil
+}
+
+// SumRLEDirect sums an RLE column as the dot product of run values and run
+// lengths, never touching individual elements (Abadi et al. [2]).
+func SumRLEDirect(in *columns.Column) (uint64, error) {
+	if err := checkCols(in); err != nil {
+		return 0, err
+	}
+	runs, err := formats.RLERuns(in)
+	if err != nil {
+		return 0, err
+	}
+	var total uint64
+	for _, r := range runs {
+		total += r.Value * r.Length
+	}
+	return total, nil
+}
+
+// SelectRLEDirect evaluates a comparison predicate run by run: a matching
+// run of length l contributes l consecutive positions at once.
+func SelectRLEDirect(in *columns.Column, op bitutil.CmpKind, val uint64, out columns.FormatDesc) (*columns.Column, error) {
+	if err := checkCols(in); err != nil {
+		return nil, err
+	}
+	runs, err := formats.RLERuns(in)
+	if err != nil {
+		return nil, err
+	}
+	w, err := formats.NewWriter(positionDesc(out, in.N()), in.N())
+	if err != nil {
+		return nil, err
+	}
+	stage := make([]uint64, blockBuf)
+	k := 0
+	pos := uint64(0)
+	for _, r := range runs {
+		if op.Eval(r.Value, val) {
+			for i := uint64(0); i < r.Length; i++ {
+				stage[k] = pos + i
+				k++
+				if k == blockBuf {
+					if err := w.Write(stage[:k]); err != nil {
+						return nil, err
+					}
+					k = 0
+				}
+			}
+		}
+		pos += r.Length
+	}
+	if err := w.Write(stage[:k]); err != nil {
+		return nil, err
+	}
+	return w.Close()
+}
+
+// SumAuto dispatches a whole-column sum to the best available integration
+// degree: a specialized direct operator when the input format has one (and
+// specialized operators are enabled), the generic de/re-compression operator
+// otherwise. This is the selective-employment policy of §3.3.
+func SumAuto(in *columns.Column, style vector.Style, specialized bool) (uint64, *columns.Column, error) {
+	if specialized {
+		switch in.Desc().Kind {
+		case columns.StaticBP:
+			s, err := SumStaticBPDirect(in)
+			if err != nil {
+				return 0, nil, err
+			}
+			return s, columns.FromValues([]uint64{s}), nil
+		case columns.DynBP:
+			s, err := SumDynBPDirect(in)
+			if err != nil {
+				return 0, nil, err
+			}
+			return s, columns.FromValues([]uint64{s}), nil
+		case columns.RLE:
+			s, err := SumRLEDirect(in)
+			if err != nil {
+				return 0, nil, err
+			}
+			return s, columns.FromValues([]uint64{s}), nil
+		}
+	}
+	return SumWhole(in, style)
+}
+
+// SelectAuto dispatches a comparison select like SumAuto: the SWAR direct
+// operator for suitable static BP columns, run-level select for RLE, and the
+// generic operator otherwise.
+func SelectAuto(in *columns.Column, op bitutil.CmpKind, val uint64, out columns.FormatDesc, style vector.Style, specialized bool) (*columns.Column, error) {
+	if specialized {
+		switch {
+		case CanSelectDirect(in):
+			return SelectStaticBPDirect(in, op, val, out)
+		case in.Desc().Kind == columns.RLE:
+			return SelectRLEDirect(in, op, val, out)
+		}
+	}
+	return Select(in, op, val, out, style)
+}
+
+// SelectBetweenAuto dispatches a range select to the SWAR direct operator
+// when available.
+func SelectBetweenAuto(in *columns.Column, lo, hi uint64, out columns.FormatDesc, style vector.Style, specialized bool) (*columns.Column, error) {
+	if specialized && CanSelectDirect(in) {
+		return SelectBetweenStaticBPDirect(in, lo, hi, out)
+	}
+	return SelectBetween(in, lo, hi, out, style)
+}

@@ -1,0 +1,403 @@
+package ssb
+
+import (
+	"fmt"
+
+	"morphstore/internal/bitutil"
+	"morphstore/internal/core"
+	"morphstore/internal/ops"
+)
+
+// Query identifies one of the 13 SSB queries.
+type Query string
+
+// The 13 queries of the Star Schema Benchmark.
+const (
+	Q11 Query = "1.1"
+	Q12 Query = "1.2"
+	Q13 Query = "1.3"
+	Q21 Query = "2.1"
+	Q22 Query = "2.2"
+	Q23 Query = "2.3"
+	Q31 Query = "3.1"
+	Q32 Query = "3.2"
+	Q33 Query = "3.3"
+	Q34 Query = "3.4"
+	Q41 Query = "4.1"
+	Q42 Query = "4.2"
+	Q43 Query = "4.3"
+)
+
+// Queries lists all 13 SSB queries in benchmark order.
+var Queries = []Query{Q11, Q12, Q13, Q21, Q22, Q23, Q31, Q32, Q33, Q34, Q41, Q42, Q43}
+
+// BuildPlan constructs the operator-at-a-time QEP of query q, imitating the
+// MonetDB plans as the paper does (§5.2): selections produce position lists,
+// conjunctions intersect them, dimension filters become projected key lists
+// joined N:1 against the fact foreign keys, and groupings refine iteratively.
+func BuildPlan(q Query, dicts *Dicts) (*core.Plan, error) {
+	b := core.NewBuilder()
+	switch q {
+	case Q11:
+		q1x(b, datePredicate{col: "d_year", eq: 1993}, 1, 3, 1, 24)
+	case Q12:
+		q1x(b, datePredicate{col: "d_yearmonthnum", eq: 199401}, 4, 6, 26, 35)
+	case Q13:
+		q1x(b, datePredicate{col: "d_weeknuminyear", eq: 6, col2: "d_year", eq2: 1994}, 5, 7, 26, 35)
+	case Q21:
+		q2x(b, dicts, dimPred{col: "p_category", lo: dicts.Category.MustCode("MFGR#12")})
+	case Q22:
+		q2x(b, dicts, dimPred{col: "p_brand1",
+			lo: dicts.Brand.MustCode("MFGR#2221"), hi: dicts.Brand.MustCode("MFGR#2228"), ranged: true})
+	case Q23:
+		q2x(b, dicts, dimPred{col: "p_brand1", lo: dicts.Brand.MustCode("MFGR#2221")})
+	case Q31:
+		q3x(b, dicts,
+			dimPred{col: "c_region", lo: dicts.Region.MustCode("ASIA")},
+			dimPred{col: "s_region", lo: dicts.Region.MustCode("ASIA")},
+			datePredicate{col: "d_year", lo: 1992, hi: 1997, ranged: true},
+			"c_nation", "s_nation")
+	case Q32:
+		q3x(b, dicts,
+			dimPred{col: "c_nation", lo: dicts.Nation.MustCode("UNITED STATES")},
+			dimPred{col: "s_nation", lo: dicts.Nation.MustCode("UNITED STATES")},
+			datePredicate{col: "d_year", lo: 1992, hi: 1997, ranged: true},
+			"c_city", "s_city")
+	case Q33:
+		q3x(b, dicts,
+			dimPred{col: "c_city", lo: dicts.CityCode("UNITED KINGDOM", 1), lo2: dicts.CityCode("UNITED KINGDOM", 5), twoEq: true},
+			dimPred{col: "s_city", lo: dicts.CityCode("UNITED KINGDOM", 1), lo2: dicts.CityCode("UNITED KINGDOM", 5), twoEq: true},
+			datePredicate{col: "d_year", lo: 1992, hi: 1997, ranged: true},
+			"c_city", "s_city")
+	case Q34:
+		q3x(b, dicts,
+			dimPred{col: "c_city", lo: dicts.CityCode("UNITED KINGDOM", 1), lo2: dicts.CityCode("UNITED KINGDOM", 5), twoEq: true},
+			dimPred{col: "s_city", lo: dicts.CityCode("UNITED KINGDOM", 1), lo2: dicts.CityCode("UNITED KINGDOM", 5), twoEq: true},
+			datePredicate{col: "d_yearmonth", eq: dicts.YearMonth.MustCode("Dec1997")},
+			"c_city", "s_city")
+	case Q41:
+		q4x(b, dicts,
+			dimPred{col: "c_region", lo: dicts.Region.MustCode("AMERICA")},
+			dimPred{col: "s_region", lo: dicts.Region.MustCode("AMERICA")},
+			dimPred{col: "p_mfgr", lo: dicts.Mfgr.MustCode("MFGR#1"), hi: dicts.Mfgr.MustCode("MFGR#2"), ranged: true},
+			datePredicate{all: true},
+			[]groupKey{{"date", "d_year"}, {"customer", "c_nation"}})
+	case Q42:
+		q4x(b, dicts,
+			dimPred{col: "c_region", lo: dicts.Region.MustCode("AMERICA")},
+			dimPred{col: "s_region", lo: dicts.Region.MustCode("AMERICA")},
+			dimPred{col: "p_mfgr", lo: dicts.Mfgr.MustCode("MFGR#1"), hi: dicts.Mfgr.MustCode("MFGR#2"), ranged: true},
+			datePredicate{col: "d_year", lo: 1997, hi: 1998, ranged: true},
+			[]groupKey{{"date", "d_year"}, {"supplier", "s_nation"}, {"part", "p_category"}})
+	case Q43:
+		q4x(b, dicts,
+			dimPred{col: "c_region", lo: dicts.Region.MustCode("AMERICA")},
+			dimPred{col: "s_nation", lo: dicts.Nation.MustCode("UNITED STATES")},
+			dimPred{col: "p_category", lo: dicts.Category.MustCode("MFGR#14")},
+			datePredicate{col: "d_year", lo: 1997, hi: 1998, ranged: true},
+			[]groupKey{{"date", "d_year"}, {"supplier", "s_city"}, {"part", "p_brand1"}})
+	default:
+		return nil, fmt.Errorf("ssb: unknown query %q", q)
+	}
+	return b.Build()
+}
+
+// datePredicate describes the date-dimension filter of a query.
+type datePredicate struct {
+	all    bool // no date filter (Q4.1)
+	col    string
+	eq     uint64
+	col2   string // optional second equality (Q1.3)
+	eq2    uint64
+	lo, hi uint64
+	ranged bool
+}
+
+// dimPred describes a customer/supplier/part filter: an equality on lo, a
+// range [lo, hi] when ranged, or a two-value IN (lo, lo2) when twoEq.
+type dimPred struct {
+	col    string
+	lo     uint64
+	hi     uint64
+	lo2    uint64
+	ranged bool
+	twoEq  bool
+}
+
+// groupKey names a dimension column used as a grouping key.
+type groupKey struct {
+	dim string // joined dimension name
+	col string
+}
+
+// dimTable maps a column prefix to its table name.
+func dimTable(col string) string {
+	switch col[0] {
+	case 'c':
+		return "customer"
+	case 's':
+		return "supplier"
+	case 'p':
+		return "part"
+	default:
+		return "date"
+	}
+}
+
+// dimKeyCol returns the primary-key column of a dimension table.
+func dimKeyCol(table string) string {
+	switch table {
+	case "customer":
+		return "c_custkey"
+	case "supplier":
+		return "s_suppkey"
+	case "part":
+		return "p_partkey"
+	default:
+		return "d_datekey"
+	}
+}
+
+// dimFK returns the lineorder foreign-key column referencing the table.
+func dimFK(table string) string {
+	switch table {
+	case "customer":
+		return "lo_custkey"
+	case "supplier":
+		return "lo_suppkey"
+	case "part":
+		return "lo_partkey"
+	default:
+		return "lo_orderdate"
+	}
+}
+
+// filterDim builds the selection for a dimension predicate and returns the
+// positions of qualifying dimension rows.
+func filterDim(b *core.Builder, p dimPred) core.ColRef {
+	table := dimTable(p.col)
+	scan := b.Scan(table, p.col)
+	switch {
+	case p.ranged:
+		return b.Between(p.col+"_sel", scan, p.lo, p.hi)
+	case p.twoEq:
+		s1 := b.Select(p.col+"_sel_a", scan, bitutil.CmpEq, p.lo)
+		s2 := b.Select(p.col+"_sel_b", scan, bitutil.CmpEq, p.lo2)
+		return b.Merge(p.col+"_sel", s1, s2)
+	default:
+		return b.Select(p.col+"_sel", scan, bitutil.CmpEq, p.lo)
+	}
+}
+
+// filterDate builds the date-dimension selection; ok is false when the
+// query has no date filter.
+func filterDate(b *core.Builder, p datePredicate) (core.ColRef, bool) {
+	if p.all {
+		return core.ColRef{}, false
+	}
+	if p.ranged {
+		return b.Between("d_sel", b.Scan("date", p.col), p.lo, p.hi), true
+	}
+	sel := b.Select("d_sel_a", b.Scan("date", p.col), bitutil.CmpEq, p.eq)
+	if p.col2 == "" {
+		return sel, true
+	}
+	sel2 := b.Select("d_sel_b", b.Scan("date", p.col2), bitutil.CmpEq, p.eq2)
+	return b.Intersect("d_sel", sel, sel2), true
+}
+
+// q1x builds the Q1.x shape: fact-local predicates on discount and quantity,
+// a date semi-join, and SUM(lo_extendedprice * lo_discount).
+func q1x(b *core.Builder, dp datePredicate, discLo, discHi, qtyLo, qtyHi uint64) {
+	dsel, _ := filterDate(b, dp)
+	dkeys := b.Project("d_keys", b.Scan("date", "d_datekey"), dsel)
+
+	s1 := b.Between("disc_sel", b.Scan("lineorder", "lo_discount"), discLo, discHi)
+	s2 := b.Between("qty_sel", b.Scan("lineorder", "lo_quantity"), qtyLo, qtyHi)
+	pos := b.Intersect("pos", s1, s2)
+
+	od := b.Project("od_p", b.Scan("lineorder", "lo_orderdate"), pos)
+	sj := b.SemiJoin("sj", od, dkeys)
+	pos2 := b.Project("pos2", pos, sj)
+
+	ep := b.Project("ep_p", b.Scan("lineorder", "lo_extendedprice"), pos2)
+	di := b.Project("di_p", b.Scan("lineorder", "lo_discount"), pos2)
+	rev := b.Calc("rev", ops.CalcMul, ep, di)
+	b.Result(b.SumWhole("revenue", rev))
+}
+
+// cascade threads a sequence of N:1 joins against filtered dimensions,
+// keeping for every joined dimension the per-row index into its filtered key
+// list, exactly like MonetDB's fetch-join chains.
+type cascade struct {
+	b      *core.Builder
+	pos    core.ColRef
+	hasPos bool
+	dims   map[string]*dimJoin
+	order  []string
+}
+
+type dimJoin struct {
+	buildIdx  core.ColRef // per surviving fact row: index into the filtered key list
+	dimPos    core.ColRef // positions of the filtered dimension rows
+	hasDimPos bool
+}
+
+func newCascade(b *core.Builder) *cascade {
+	return &cascade{b: b, dims: make(map[string]*dimJoin)}
+}
+
+// joinFiltered joins the fact table against a filtered dimension.
+func (c *cascade) joinFiltered(dim string, sel core.ColRef) {
+	keys := c.b.Project(dim+"_keys", c.b.Scan(dim, dimKeyCol(dim)), sel)
+	c.join(dim, keys, sel, true)
+}
+
+// joinFull joins the fact table against an unfiltered dimension.
+func (c *cascade) joinFull(dim string) {
+	c.join(dim, c.b.Scan(dim, dimKeyCol(dim)), core.ColRef{}, false)
+}
+
+func (c *cascade) join(dim string, keys, dimPos core.ColRef, hasDimPos bool) {
+	fk := c.b.Scan("lineorder", dimFK(dim))
+	probe := fk
+	if c.hasPos {
+		probe = c.b.Project(dim+"_fkp", fk, c.pos)
+	}
+	pp, bp := c.b.JoinN1("j_"+dim, probe, keys)
+	for _, name := range c.order {
+		dj := c.dims[name]
+		dj.buildIdx = c.b.Project(dim+"_"+name+"_sub", dj.buildIdx, pp)
+	}
+	if c.hasPos {
+		c.pos = c.b.Project(dim+"_pos", c.pos, pp)
+	} else {
+		c.pos, c.hasPos = pp, true
+	}
+	c.dims[dim] = &dimJoin{buildIdx: bp, dimPos: dimPos, hasDimPos: hasDimPos}
+	c.order = append(c.order, dim)
+}
+
+// dimValue materializes a dimension column per surviving fact row.
+func (c *cascade) dimValue(dim, col string) core.ColRef {
+	dj := c.dims[dim]
+	idx := dj.buildIdx
+	if dj.hasDimPos {
+		idx = c.b.Project(col+"_dpos", dj.dimPos, dj.buildIdx)
+	}
+	return c.b.Project(col+"_row", c.b.Scan(dim, col), idx)
+}
+
+// factValue materializes a fact column per surviving fact row.
+func (c *cascade) factValue(col string) core.ColRef {
+	scan := c.b.Scan("lineorder", col)
+	if !c.hasPos {
+		return scan
+	}
+	return c.b.Project(col+"_row", scan, c.pos)
+}
+
+// groupAndSum groups the per-row key columns iteratively, sums val per
+// group, and registers the result columns (key columns + sum).
+func groupAndSum(b *core.Builder, keys []core.ColRef, keyNames []string, val core.ColRef) {
+	gids, extents := b.GroupFirst("g0", keys[0])
+	for i := 1; i < len(keys); i++ {
+		gids, extents = b.GroupNext(fmt.Sprintf("g%d", i), gids, keys[i])
+	}
+	for i, k := range keys {
+		b.Result(b.Project("res_"+keyNames[i], k, extents))
+	}
+	b.Result(b.SumGrouped("res_sum", gids, extents, val))
+}
+
+// q2x builds the Q2.x shape: part and supplier filters, full date join,
+// GROUP BY d_year, p_brand1 over SUM(lo_revenue).
+func q2x(b *core.Builder, dicts *Dicts, partPred dimPred) {
+	c := newCascade(b)
+	c.joinFiltered("part", filterDim(b, partPred))
+	c.joinFiltered("supplier", filterDim(b, dimPred{col: "s_region", lo: q2SupplierRegion(dicts, partPred)}))
+	c.joinFull("date")
+	year := c.dimValue("date", "d_year")
+	brand := c.dimValue("part", "p_brand1")
+	rev := c.factValue("lo_revenue")
+	groupAndSum(b, []core.ColRef{year, brand}, []string{"d_year", "p_brand1"}, rev)
+}
+
+// q2SupplierRegion returns the supplier region of the Q2.x variants
+// (AMERICA for Q2.1, ASIA for Q2.2, EUROPE for Q2.3 — distinguished by the
+// part predicate shape, mirroring the benchmark definition).
+func q2SupplierRegion(dicts *Dicts, partPred dimPred) uint64 {
+	switch {
+	case partPred.col == "p_category":
+		return dicts.Region.MustCode("AMERICA") // Q2.1
+	case partPred.ranged:
+		return dicts.Region.MustCode("ASIA") // Q2.2
+	default:
+		return dicts.Region.MustCode("EUROPE") // Q2.3
+	}
+}
+
+// q3x builds the Q3.x shape: customer and supplier filters, a date filter,
+// GROUP BY (ckey, skey, d_year) over SUM(lo_revenue).
+func q3x(b *core.Builder, dicts *Dicts, custPred, suppPred dimPred, dp datePredicate, cKey, sKey string) {
+	_ = dicts
+	c := newCascade(b)
+	c.joinFiltered("customer", filterDim(b, custPred))
+	c.joinFiltered("supplier", filterDim(b, suppPred))
+	dsel, _ := filterDate(b, dp)
+	c.joinFiltered("date", dsel)
+	ck := c.dimValue("customer", cKey)
+	sk := c.dimValue("supplier", sKey)
+	year := c.dimValue("date", "d_year")
+	rev := c.factValue("lo_revenue")
+	groupAndSum(b, []core.ColRef{ck, sk, year}, []string{cKey, sKey, "d_year"}, rev)
+}
+
+// q4x builds the Q4.x shape: customer, supplier and part filters, an
+// optional date filter, and SUM(lo_revenue - lo_supplycost) grouped by the
+// query-specific keys.
+func q4x(b *core.Builder, dicts *Dicts, custPred, suppPred, partPred dimPred, dp datePredicate, gks []groupKey) {
+	_ = dicts
+	c := newCascade(b)
+	c.joinFiltered("customer", filterDim(b, custPred))
+	c.joinFiltered("supplier", filterDim(b, suppPred))
+	c.joinFiltered("part", filterDim(b, partPred))
+	if dsel, ok := filterDate(b, dp); ok {
+		c.joinFiltered("date", dsel)
+	} else {
+		c.joinFull("date")
+	}
+	rev := c.factValue("lo_revenue")
+	cost := c.factValue("lo_supplycost")
+	profit := b.Calc("profit", ops.CalcSub, rev, cost)
+	keys := make([]core.ColRef, len(gks))
+	names := make([]string, len(gks))
+	for i, gk := range gks {
+		keys[i] = c.dimValue(gk.dim, gk.col)
+		names[i] = gk.col
+	}
+	groupAndSum(b, keys, names, profit)
+}
+
+// ResultKeyNames returns the names of the result columns of query q in
+// canonical order: group keys first, then the aggregate.
+func ResultKeyNames(q Query) (keys []string, sum string) {
+	switch q {
+	case Q11, Q12, Q13:
+		return nil, "revenue"
+	case Q21, Q22, Q23:
+		return []string{"res_d_year", "res_p_brand1"}, "res_sum"
+	case Q31:
+		return []string{"res_c_nation", "res_s_nation", "res_d_year"}, "res_sum"
+	case Q32, Q33, Q34:
+		return []string{"res_c_city", "res_s_city", "res_d_year"}, "res_sum"
+	case Q41:
+		return []string{"res_d_year", "res_c_nation"}, "res_sum"
+	case Q42:
+		return []string{"res_d_year", "res_s_nation", "res_p_category"}, "res_sum"
+	case Q43:
+		return []string{"res_d_year", "res_s_city", "res_p_brand1"}, "res_sum"
+	default:
+		return nil, ""
+	}
+}

@@ -1,0 +1,347 @@
+package ssb
+
+import (
+	"fmt"
+	"sort"
+
+	"morphstore/internal/core"
+)
+
+// Row is one canonicalized result row: the group-key values (empty for the
+// ungrouped Q1.x) and the aggregate.
+type Row struct {
+	Keys []uint64
+	Sum  uint64
+}
+
+// SortRows orders rows by their key tuples, the canonical comparison order.
+func SortRows(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i].Keys, rows[j].Keys
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// RowsEqual compares two canonicalized (sorted) result sets.
+func RowsEqual(a, b []Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Sum != b[i].Sum || len(a[i].Keys) != len(b[i].Keys) {
+			return false
+		}
+		for k := range a[i].Keys {
+			if a[i].Keys[k] != b[i].Keys[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ExtractRows canonicalizes an engine result into sorted rows.
+func ExtractRows(q Query, cols map[string][]uint64) ([]Row, error) {
+	keyNames, sumName := ResultKeyNames(q)
+	sum, ok := cols[sumName]
+	if !ok {
+		return nil, fmt.Errorf("ssb: result misses %q", sumName)
+	}
+	rows := make([]Row, len(sum))
+	for i := range sum {
+		rows[i] = Row{Sum: sum[i]}
+	}
+	for _, kn := range keyNames {
+		kc, ok := cols[kn]
+		if !ok {
+			return nil, fmt.Errorf("ssb: result misses key column %q", kn)
+		}
+		if len(kc) != len(sum) {
+			return nil, fmt.Errorf("ssb: key column %q has %d rows, aggregate %d", kn, len(kc), len(sum))
+		}
+		for i := range rows {
+			rows[i].Keys = append(rows[i].Keys, kc[i])
+		}
+	}
+	SortRows(rows)
+	return rows, nil
+}
+
+// ExtractResult canonicalizes a core engine result.
+func ExtractResult(q Query, res *core.Result) ([]Row, error) {
+	cols := make(map[string][]uint64, len(res.Cols))
+	for name, c := range res.Cols {
+		vals, ok := c.Values()
+		if !ok {
+			return nil, fmt.Errorf("ssb: result column %q is compressed", name)
+		}
+		cols[name] = vals
+	}
+	return ExtractRows(q, cols)
+}
+
+// refTables bundles decoded raw columns for the reference executor.
+type refTables struct {
+	lo   map[string][]uint64
+	cust map[string][]uint64
+	supp map[string][]uint64
+	part map[string][]uint64
+	date map[string][]uint64
+	// datekey -> date row index
+	dateByKey map[uint64]int
+}
+
+func newRefTables(d *Data) (*refTables, error) {
+	get := func(table string) (map[string][]uint64, error) {
+		t, ok := d.DB.Tables[table]
+		if !ok {
+			return nil, fmt.Errorf("ssb: missing table %q", table)
+		}
+		out := make(map[string][]uint64, len(t.Cols))
+		for cn, col := range t.Cols {
+			vals, ok := col.Values()
+			if !ok {
+				return nil, fmt.Errorf("ssb: %s.%s not uncompressed", table, cn)
+			}
+			out[cn] = vals
+		}
+		return out, nil
+	}
+	r := &refTables{}
+	var err error
+	if r.lo, err = get("lineorder"); err != nil {
+		return nil, err
+	}
+	if r.cust, err = get("customer"); err != nil {
+		return nil, err
+	}
+	if r.supp, err = get("supplier"); err != nil {
+		return nil, err
+	}
+	if r.part, err = get("part"); err != nil {
+		return nil, err
+	}
+	if r.date, err = get("date"); err != nil {
+		return nil, err
+	}
+	r.dateByKey = make(map[uint64]int, len(r.date["d_datekey"]))
+	for i, k := range r.date["d_datekey"] {
+		r.dateByKey[k] = i
+	}
+	return r, nil
+}
+
+// Reference computes the result of query q with an independent row-wise
+// executor over the raw generated data: the ground truth every engine and
+// every format configuration is validated against.
+func Reference(q Query, d *Data) ([]Row, error) {
+	r, err := newRefTables(d)
+	if err != nil {
+		return nil, err
+	}
+	dc := d.Dicts
+	switch q {
+	case Q11:
+		return r.q1(func(di int) bool { return r.date["d_year"][di] == 1993 }, 1, 3, 1, 24), nil
+	case Q12:
+		return r.q1(func(di int) bool { return r.date["d_yearmonthnum"][di] == 199401 }, 4, 6, 26, 35), nil
+	case Q13:
+		return r.q1(func(di int) bool {
+			return r.date["d_weeknuminyear"][di] == 6 && r.date["d_year"][di] == 1994
+		}, 5, 7, 26, 35), nil
+	case Q21:
+		cat := dc.Category.MustCode("MFGR#12")
+		amer := dc.Region.MustCode("AMERICA")
+		return r.grouped(
+			func(ci, si, pi, di int) bool {
+				return r.part["p_category"][pi] == cat && r.supp["s_region"][si] == amer
+			},
+			func(ci, si, pi, di int) []uint64 {
+				return []uint64{r.date["d_year"][di], r.part["p_brand1"][pi]}
+			}, r.revenueAgg()), nil
+	case Q22:
+		lo, hi := dc.Brand.MustCode("MFGR#2221"), dc.Brand.MustCode("MFGR#2228")
+		asia := dc.Region.MustCode("ASIA")
+		return r.grouped(
+			func(ci, si, pi, di int) bool {
+				b := r.part["p_brand1"][pi]
+				return b >= lo && b <= hi && r.supp["s_region"][si] == asia
+			},
+			func(ci, si, pi, di int) []uint64 {
+				return []uint64{r.date["d_year"][di], r.part["p_brand1"][pi]}
+			}, r.revenueAgg()), nil
+	case Q23:
+		brand := dc.Brand.MustCode("MFGR#2221")
+		eur := dc.Region.MustCode("EUROPE")
+		return r.grouped(
+			func(ci, si, pi, di int) bool {
+				return r.part["p_brand1"][pi] == brand && r.supp["s_region"][si] == eur
+			},
+			func(ci, si, pi, di int) []uint64 {
+				return []uint64{r.date["d_year"][di], r.part["p_brand1"][pi]}
+			}, r.revenueAgg()), nil
+	case Q31:
+		asia := dc.Region.MustCode("ASIA")
+		return r.grouped(
+			func(ci, si, pi, di int) bool {
+				y := r.date["d_year"][di]
+				return r.cust["c_region"][ci] == asia && r.supp["s_region"][si] == asia &&
+					y >= 1992 && y <= 1997
+			},
+			func(ci, si, pi, di int) []uint64 {
+				return []uint64{r.cust["c_nation"][ci], r.supp["s_nation"][si], r.date["d_year"][di]}
+			}, r.revenueAgg()), nil
+	case Q32:
+		us := dc.Nation.MustCode("UNITED STATES")
+		return r.grouped(
+			func(ci, si, pi, di int) bool {
+				y := r.date["d_year"][di]
+				return r.cust["c_nation"][ci] == us && r.supp["s_nation"][si] == us &&
+					y >= 1992 && y <= 1997
+			},
+			func(ci, si, pi, di int) []uint64 {
+				return []uint64{r.cust["c_city"][ci], r.supp["s_city"][si], r.date["d_year"][di]}
+			}, r.revenueAgg()), nil
+	case Q33, Q34:
+		k1, k5 := dc.CityCode("UNITED KINGDOM", 1), dc.CityCode("UNITED KINGDOM", 5)
+		dec97 := dc.YearMonth.MustCode("Dec1997")
+		return r.grouped(
+			func(ci, si, pi, di int) bool {
+				cc, sc := r.cust["c_city"][ci], r.supp["s_city"][si]
+				if !((cc == k1 || cc == k5) && (sc == k1 || sc == k5)) {
+					return false
+				}
+				if q == Q33 {
+					y := r.date["d_year"][di]
+					return y >= 1992 && y <= 1997
+				}
+				return r.date["d_yearmonth"][di] == dec97
+			},
+			func(ci, si, pi, di int) []uint64 {
+				return []uint64{r.cust["c_city"][ci], r.supp["s_city"][si], r.date["d_year"][di]}
+			}, r.revenueAgg()), nil
+	case Q41:
+		amer := dc.Region.MustCode("AMERICA")
+		m1, m2 := dc.Mfgr.MustCode("MFGR#1"), dc.Mfgr.MustCode("MFGR#2")
+		return r.grouped(
+			func(ci, si, pi, di int) bool {
+				m := r.part["p_mfgr"][pi]
+				return r.cust["c_region"][ci] == amer && r.supp["s_region"][si] == amer &&
+					m >= m1 && m <= m2
+			},
+			func(ci, si, pi, di int) []uint64 {
+				return []uint64{r.date["d_year"][di], r.cust["c_nation"][ci]}
+			}, r.profitAgg()), nil
+	case Q42:
+		amer := dc.Region.MustCode("AMERICA")
+		m1, m2 := dc.Mfgr.MustCode("MFGR#1"), dc.Mfgr.MustCode("MFGR#2")
+		return r.grouped(
+			func(ci, si, pi, di int) bool {
+				m := r.part["p_mfgr"][pi]
+				y := r.date["d_year"][di]
+				return r.cust["c_region"][ci] == amer && r.supp["s_region"][si] == amer &&
+					m >= m1 && m <= m2 && y >= 1997 && y <= 1998
+			},
+			func(ci, si, pi, di int) []uint64 {
+				return []uint64{r.date["d_year"][di], r.supp["s_nation"][si], r.part["p_category"][pi]}
+			}, r.profitAgg()), nil
+	case Q43:
+		amer := dc.Region.MustCode("AMERICA")
+		us := dc.Nation.MustCode("UNITED STATES")
+		cat := dc.Category.MustCode("MFGR#14")
+		return r.grouped(
+			func(ci, si, pi, di int) bool {
+				y := r.date["d_year"][di]
+				return r.cust["c_region"][ci] == amer && r.supp["s_nation"][si] == us &&
+					r.part["p_category"][pi] == cat && y >= 1997 && y <= 1998
+			},
+			func(ci, si, pi, di int) []uint64 {
+				return []uint64{r.date["d_year"][di], r.supp["s_city"][si], r.part["p_brand1"][pi]}
+			}, r.profitAgg()), nil
+	default:
+		return nil, fmt.Errorf("ssb: unknown query %q", q)
+	}
+}
+
+// q1 computes the Q1.x family: SUM(extendedprice*discount) under fact-local
+// range predicates and a date filter.
+func (r *refTables) q1(dateOK func(di int) bool, dLo, dHi, qLo, qHi uint64) []Row {
+	okDate := make(map[uint64]bool, len(r.dateByKey))
+	for k, di := range r.dateByKey {
+		okDate[k] = dateOK(di)
+	}
+	var total uint64
+	disc := r.lo["lo_discount"]
+	qty := r.lo["lo_quantity"]
+	od := r.lo["lo_orderdate"]
+	ep := r.lo["lo_extendedprice"]
+	for i := range disc {
+		if disc[i] >= dLo && disc[i] <= dHi && qty[i] >= qLo && qty[i] <= qHi && okDate[od[i]] {
+			total += ep[i] * disc[i]
+		}
+	}
+	return []Row{{Sum: total}}
+}
+
+func (r *refTables) revenueAgg() func(i int) uint64 {
+	rev := r.lo["lo_revenue"]
+	return func(i int) uint64 { return rev[i] }
+}
+
+func (r *refTables) profitAgg() func(i int) uint64 {
+	rev := r.lo["lo_revenue"]
+	cost := r.lo["lo_supplycost"]
+	return func(i int) uint64 { return rev[i] - cost[i] }
+}
+
+// grouped computes a grouped aggregate over the joined star: pred and key
+// receive the dimension row indices of each fact row.
+func (r *refTables) grouped(pred func(ci, si, pi, di int) bool,
+	key func(ci, si, pi, di int) []uint64, agg func(i int) uint64) []Row {
+
+	ck := r.lo["lo_custkey"]
+	sk := r.lo["lo_suppkey"]
+	pk := r.lo["lo_partkey"]
+	od := r.lo["lo_orderdate"]
+
+	type group struct {
+		keys []uint64
+		sum  uint64
+	}
+	groups := make(map[string]*group)
+	var kb []byte
+	for i := range ck {
+		ci, si, pi := int(ck[i]), int(sk[i]), int(pk[i])
+		di, ok := r.dateByKey[od[i]]
+		if !ok {
+			continue
+		}
+		if !pred(ci, si, pi, di) {
+			continue
+		}
+		keys := key(ci, si, pi, di)
+		kb = kb[:0]
+		for _, k := range keys {
+			for s := 0; s < 64; s += 8 {
+				kb = append(kb, byte(k>>s))
+			}
+		}
+		g, ok := groups[string(kb)]
+		if !ok {
+			g = &group{keys: keys}
+			groups[string(kb)] = g
+		}
+		g.sum += agg(i)
+	}
+	rows := make([]Row, 0, len(groups))
+	for _, g := range groups {
+		rows = append(rows, Row{Keys: g.keys, Sum: g.sum})
+	}
+	SortRows(rows)
+	return rows
+}

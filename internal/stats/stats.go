@@ -1,0 +1,141 @@
+// Package stats collects the basic data characteristics MorphStore-Go's
+// cost-based format selection relies on (paper §5, "Determining a good format
+// combination"): number of data elements, bit-width histogram, delta
+// bit-width histogram, sort order, run structure, and a distinct estimate.
+//
+// The paper assumes these characteristics are known for all intermediates;
+// here they are gathered in a single pass over the data.
+package stats
+
+import (
+	"math/bits"
+)
+
+// DistinctCap bounds the exact distinct counting; beyond it the profile
+// reports DistinctCap as a lower bound and sets DistinctSaturated.
+const DistinctCap = 1 << 16
+
+// Profile summarizes the data characteristics of one integer sequence.
+type Profile struct {
+	N       int    // number of data elements
+	Min     uint64 // minimum value (0 if N == 0)
+	Max     uint64 // maximum value
+	MaxBits uint   // effective bit width of Max
+
+	Sorted bool // non-decreasing order
+	Runs   int  // number of maximal runs of equal values
+
+	// BitHist[b] counts values with effective bit width b (0..64).
+	BitHist [65]int
+	// DeltaBitHist[b] counts wrap-around deltas v[i]-v[i-1] (mod 2^64, i>0)
+	// with effective bit width b. For sorted data these are the small
+	// positive gaps that make DELTA+BP effective.
+	DeltaBitHist [65]int
+	// ForBitHist[b] counts offsets v-Min with effective bit width b: the
+	// frame-of-reference view of the data under a global reference.
+	ForBitHist [65]int
+
+	Distinct          int  // exact distinct count up to DistinctCap
+	DistinctSaturated bool // true if the distinct counter hit its cap
+}
+
+// Collect computes the profile of vals in one pass.
+func Collect(vals []uint64) *Profile {
+	p := &Profile{N: len(vals), Sorted: true}
+	if len(vals) == 0 {
+		return p
+	}
+	distinct := make(map[uint64]struct{}, 1024)
+	p.Min, p.Max = vals[0], vals[0]
+	p.Runs = 1
+	prev := vals[0]
+	p.BitHist[bits.Len64(vals[0])]++
+	distinct[vals[0]] = struct{}{}
+	for _, v := range vals[1:] {
+		p.BitHist[bits.Len64(v)]++
+		d := v - prev // wrap-around delta
+		p.DeltaBitHist[bits.Len64(d)]++
+		if v < prev {
+			p.Sorted = false
+		}
+		if v != prev {
+			p.Runs++
+		}
+		if v < p.Min {
+			p.Min = v
+		}
+		if v > p.Max {
+			p.Max = v
+		}
+		if !p.DistinctSaturated {
+			distinct[v] = struct{}{}
+			if len(distinct) >= DistinctCap {
+				p.DistinctSaturated = true
+			}
+		}
+		prev = v
+	}
+	p.Distinct = len(distinct)
+	p.MaxBits = uint(bits.Len64(p.Max))
+	// Second cheap pass: offsets relative to the global minimum.
+	for _, v := range vals {
+		p.ForBitHist[bits.Len64(v-p.Min)]++
+	}
+	return p
+}
+
+// AvgRunLength returns the mean run length (N/Runs); 0 for empty input.
+func (p *Profile) AvgRunLength() float64 {
+	if p.Runs == 0 {
+		return 0
+	}
+	return float64(p.N) / float64(p.Runs)
+}
+
+// BitCDF returns the cumulative distribution F(b) = P(effective bit width
+// of a value <= b) over the bit-width histogram h.
+func BitCDF(h *[65]int, n int) [65]float64 {
+	var cdf [65]float64
+	if n == 0 {
+		return cdf
+	}
+	acc := 0
+	for b := 0; b <= 64; b++ {
+		acc += h[b]
+		cdf[b] = float64(acc) / float64(n)
+	}
+	return cdf
+}
+
+// ExpectedBlockMaxBits estimates, under an independence assumption, the
+// expected maximum effective bit width within a block of blockLen values
+// drawn from the distribution described by histogram h over n values.
+// This is the gray-box size estimator for block-adaptive formats (DynBP):
+// E[max] = sum_b b * (F(b)^L - F(b-1)^L).
+func ExpectedBlockMaxBits(h *[65]int, n, blockLen int) float64 {
+	if n == 0 || blockLen <= 0 {
+		return 0
+	}
+	cdf := BitCDF(h, n)
+	var e float64
+	prev := 0.0
+	for b := 0; b <= 64; b++ {
+		cur := pow(cdf[b], blockLen)
+		e += float64(b) * (cur - prev)
+		prev = cur
+	}
+	return e
+}
+
+// pow computes x^k for non-negative integer k without importing math.
+func pow(x float64, k int) float64 {
+	r := 1.0
+	for k > 0 {
+		if k&1 == 1 {
+			r *= x
+		}
+		x *= x
+		k >>= 1
+	}
+	return r
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCollectBasics(t *testing.T) {
+	p := Collect([]uint64{5, 5, 7, 7, 7, 3})
+	if p.N != 6 {
+		t.Errorf("N = %d", p.N)
+	}
+	if p.Min != 3 || p.Max != 7 {
+		t.Errorf("min/max = %d/%d", p.Min, p.Max)
+	}
+	if p.MaxBits != 3 {
+		t.Errorf("MaxBits = %d", p.MaxBits)
+	}
+	if p.Sorted {
+		t.Error("not sorted")
+	}
+	if p.Runs != 3 {
+		t.Errorf("Runs = %d, want 3", p.Runs)
+	}
+	if p.Distinct != 3 {
+		t.Errorf("Distinct = %d, want 3", p.Distinct)
+	}
+	if got := p.AvgRunLength(); got != 2 {
+		t.Errorf("AvgRunLength = %f", got)
+	}
+}
+
+func TestCollectEmpty(t *testing.T) {
+	p := Collect(nil)
+	if p.N != 0 || p.Runs != 0 || !p.Sorted {
+		t.Errorf("empty profile: %+v", p)
+	}
+	if p.AvgRunLength() != 0 {
+		t.Error("empty avg run length")
+	}
+}
+
+func TestCollectSorted(t *testing.T) {
+	p := Collect([]uint64{1, 2, 2, 3, 10})
+	if !p.Sorted {
+		t.Error("sorted input not detected")
+	}
+	// Deltas: 1,0,1,7 -> widths 1,0,1,3
+	if p.DeltaBitHist[1] != 2 || p.DeltaBitHist[0] != 1 || p.DeltaBitHist[3] != 1 {
+		t.Errorf("delta hist: %v", p.DeltaBitHist[:5])
+	}
+}
+
+func TestBitHist(t *testing.T) {
+	p := Collect([]uint64{0, 1, 2, 3, 255})
+	if p.BitHist[0] != 1 || p.BitHist[1] != 1 || p.BitHist[2] != 2 || p.BitHist[8] != 1 {
+		t.Errorf("bit hist: %v", p.BitHist[:10])
+	}
+}
+
+func TestDistinctSaturation(t *testing.T) {
+	vals := make([]uint64, DistinctCap+100)
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	p := Collect(vals)
+	if !p.DistinctSaturated {
+		t.Error("distinct counter should saturate")
+	}
+	if p.Distinct < DistinctCap {
+		t.Errorf("Distinct = %d, want >= %d", p.Distinct, DistinctCap)
+	}
+}
+
+func TestExpectedBlockMaxBits(t *testing.T) {
+	// Constant-width data: expectation equals that width exactly.
+	var h [65]int
+	h[6] = 1000
+	if got := ExpectedBlockMaxBits(&h, 1000, 512); math.Abs(got-6) > 1e-9 {
+		t.Errorf("constant width: %f", got)
+	}
+	// Rare outliers: expected block max must sit between the two widths and
+	// approach the outlier width as block length grows.
+	var h2 [65]int
+	h2[6] = 9990
+	h2[63] = 10
+	small := ExpectedBlockMaxBits(&h2, 10000, 8)
+	big := ExpectedBlockMaxBits(&h2, 10000, 4096)
+	if small < 6 || small > 10 {
+		t.Errorf("small block expectation = %f", small)
+	}
+	if big < 55 {
+		t.Errorf("big block expectation = %f, want near 63", big)
+	}
+	if ExpectedBlockMaxBits(&h2, 0, 512) != 0 {
+		t.Error("zero n must yield 0")
+	}
+}
+
+func TestCollectMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]uint64, 5000)
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(1 << 20))
+	}
+	p := Collect(vals)
+	// Brute force runs.
+	runs := 1
+	for i := 1; i < len(vals); i++ {
+		if vals[i] != vals[i-1] {
+			runs++
+		}
+	}
+	if p.Runs != runs {
+		t.Errorf("Runs = %d, want %d", p.Runs, runs)
+	}
+	set := map[uint64]struct{}{}
+	for _, v := range vals {
+		set[v] = struct{}{}
+	}
+	if p.Distinct != len(set) {
+		t.Errorf("Distinct = %d, want %d", p.Distinct, len(set))
+	}
+	total := 0
+	for _, c := range p.BitHist {
+		total += c
+	}
+	if total != len(vals) {
+		t.Errorf("bit hist total = %d", total)
+	}
+	totalD := 0
+	for _, c := range p.DeltaBitHist {
+		totalD += c
+	}
+	if totalD != len(vals)-1 {
+		t.Errorf("delta hist total = %d", totalD)
+	}
+}

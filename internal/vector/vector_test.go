@@ -1,0 +1,181 @@
+package vector
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(rng *rand.Rand) Vec {
+	var v Vec
+	for i := range v {
+		v[i] = rng.Uint64()
+	}
+	return v
+}
+
+func TestLoadStore(t *testing.T) {
+	s := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	v := Load(s)
+	out := make([]uint64, Lanes)
+	v.Store(out)
+	for i := 0; i < Lanes; i++ {
+		if out[i] != s[i] {
+			t.Errorf("lane %d = %d, want %d", i, out[i], s[i])
+		}
+	}
+}
+
+func TestSet1AndSeq(t *testing.T) {
+	v := Set1(42)
+	for i, x := range v {
+		if x != 42 {
+			t.Errorf("Set1 lane %d = %d", i, x)
+		}
+	}
+	s := SeqFrom(10)
+	for i, x := range s {
+		if x != uint64(10+i) {
+			t.Errorf("SeqFrom lane %d = %d", i, x)
+		}
+	}
+}
+
+func TestArithmeticAgainstScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		a, b := randVec(rng), randVec(rng)
+		add, sub, mul := Add(a, b), Sub(a, b), Mul(a, b)
+		and, or := And(a, b), Or(a, b)
+		for i := 0; i < Lanes; i++ {
+			if add[i] != a[i]+b[i] {
+				t.Fatalf("Add lane %d", i)
+			}
+			if sub[i] != a[i]-b[i] {
+				t.Fatalf("Sub lane %d", i)
+			}
+			if mul[i] != a[i]*b[i] {
+				t.Fatalf("Mul lane %d", i)
+			}
+			if and[i] != a[i]&b[i] {
+				t.Fatalf("And lane %d", i)
+			}
+			if or[i] != a[i]|b[i] {
+				t.Fatalf("Or lane %d", i)
+			}
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	v := Set1(0xF0)
+	if got := Shr(v, 4); got != Set1(0xF) {
+		t.Errorf("Shr = %v", got)
+	}
+	if got := Shl(v, 4); got != Set1(0xF00) {
+		t.Errorf("Shl = %v", got)
+	}
+	if got := Shr(v, 64); got != (Vec{}) {
+		t.Errorf("Shr 64 = %v", got)
+	}
+	if got := Shl(v, 64); got != (Vec{}) {
+		t.Errorf("Shl 64 = %v", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randVec(rng), randVec(rng)
+		if trial%3 == 0 { // force some equal lanes
+			b[trial%Lanes] = a[trial%Lanes]
+		}
+		checks := []struct {
+			name string
+			m    Mask
+			f    func(x, y uint64) bool
+		}{
+			{"eq", CmpEq(a, b), func(x, y uint64) bool { return x == y }},
+			{"ne", CmpNe(a, b), func(x, y uint64) bool { return x != y }},
+			{"lt", CmpLt(a, b), func(x, y uint64) bool { return x < y }},
+			{"le", CmpLe(a, b), func(x, y uint64) bool { return x <= y }},
+			{"gt", CmpGt(a, b), func(x, y uint64) bool { return x > y }},
+			{"ge", CmpGe(a, b), func(x, y uint64) bool { return x >= y }},
+		}
+		for _, c := range checks {
+			for i := 0; i < Lanes; i++ {
+				want := c.f(a[i], b[i])
+				got := c.m&(1<<i) != 0
+				if got != want {
+					t.Fatalf("%s lane %d: got %v want %v (a=%d b=%d)", c.name, i, got, want, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCompressStore(t *testing.T) {
+	v := SeqFrom(100)
+	dst := make([]uint64, Lanes)
+	n := CompressStore(dst, 0b10100101, v)
+	if n != 4 {
+		t.Fatalf("n = %d, want 4", n)
+	}
+	want := []uint64{100, 102, 105, 107}
+	for i, w := range want {
+		if dst[i] != w {
+			t.Errorf("dst[%d] = %d, want %d", i, dst[i], w)
+		}
+	}
+	if CompressStore(dst, 0, v) != 0 {
+		t.Error("empty mask should store nothing")
+	}
+	if CompressStore(dst, FullMask, v) != Lanes {
+		t.Error("full mask should store all lanes")
+	}
+}
+
+func TestGather(t *testing.T) {
+	base := make([]uint64, 64)
+	for i := range base {
+		base[i] = uint64(i * 10)
+	}
+	idx := Vec{3, 1, 4, 1, 5, 9, 2, 6}
+	got := Gather(base, idx)
+	for i, ix := range idx {
+		if got[i] != base[ix] {
+			t.Errorf("lane %d = %d, want %d", i, got[i], base[ix])
+		}
+	}
+}
+
+func TestHSumProperty(t *testing.T) {
+	f := func(a, b, c, d, e, ff, g, h uint64) bool {
+		v := Vec{a, b, c, d, e, ff, g, h}
+		return v.HSum() == a+b+c+d+e+ff+g+h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskCount(t *testing.T) {
+	if FullMask.Count() != Lanes {
+		t.Error("FullMask count")
+	}
+	if Mask(0).Count() != 0 {
+		t.Error("zero mask count")
+	}
+	if Mask(0b1010).Count() != 2 {
+		t.Error("0b1010 count")
+	}
+}
+
+func TestStyleString(t *testing.T) {
+	if Scalar.String() != "scalar" || Vec512.String() != "vec512" {
+		t.Error("style names")
+	}
+	if Style(99).String() == "" {
+		t.Error("unknown style should still format")
+	}
+}

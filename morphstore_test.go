@@ -1,0 +1,167 @@
+package morphstore
+
+import (
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the public API end to end: compress,
+// analyze, morph, select, project, sum.
+func TestFacadeQuickstart(t *testing.T) {
+	vals := make([]uint64, 10000)
+	var want uint64
+	for i := range vals {
+		vals[i] = uint64(i % 97)
+		if vals[i] < 10 {
+			want += vals[i]
+		}
+	}
+	col, err := Compress(vals, DynBP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.N() != len(vals) {
+		t.Fatal("bad length")
+	}
+	prof := Analyze(vals)
+	if prof.MaxBits != 7 {
+		t.Fatalf("maxbits = %d", prof.MaxBits)
+	}
+	rec, err := SuggestFormat(prof, Formats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.IsCompressed() {
+		t.Fatal("small values should compress")
+	}
+	static, err := Morph(col, StaticBP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, err := Select(static, CmpLt, 10, DeltaBP, Vec512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcol, err := Project(static, pos, DynBP, Vec512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Sum(vcol, Vec512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	dec, err := Decompress(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if dec[i] != vals[i] {
+			t.Fatal("round trip")
+		}
+	}
+}
+
+// TestFacadePlanAPI exercises plan building and execution via the facade.
+func TestFacadePlanAPI(t *testing.T) {
+	db := NewDB()
+	db.AddTable("t", map[string][]uint64{
+		"a": {1, 2, 3, 4, 5, 6},
+		"b": {10, 20, 30, 40, 50, 60},
+	})
+	bld := NewPlanBuilder()
+	a := bld.Scan("t", "a")
+	bv := bld.Scan("t", "b")
+	sel := bld.Select("sel", a, CmpGe, 4)
+	proj := bld.Project("proj", bv, sel)
+	bld.Result(bld.SumWhole("total", proj))
+	plan, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []*Config{
+		UncompressedConfig(Scalar),
+		UniformConfig(plan, DynBP, Vec512),
+	} {
+		res, err := Execute(plan, db, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, _ := res.Cols["total"].Values()
+		if sum[0] != 150 {
+			t.Fatalf("sum = %d, want 150", sum[0])
+		}
+	}
+	best, worst, err := FootprintSearch(plan, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == nil || worst == nil {
+		t.Fatal("searches returned nil")
+	}
+	if _, err := CostBasedAssignment(plan, db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeSSB exercises the SSB facade at a tiny scale.
+func TestFacadeSSB(t *testing.T) {
+	data, err := GenerateSSB(0.001, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := SSBQueries[0]
+	plan, err := BuildSSBPlan(q, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(plan, data.DB, UncompressedConfig(Vec512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExtractSSBResult(q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SSBReference(q, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || got[0].Sum != want[0].Sum {
+		t.Fatalf("facade SSB result mismatch: %v vs %v", got, want)
+	}
+}
+
+// TestFacadeFormats sanity-checks the format constructors.
+func TestFacadeFormats(t *testing.T) {
+	if len(Formats()) != 5 {
+		t.Errorf("Formats() = %d entries, want the paper's 5", len(Formats()))
+	}
+	if len(AllFormats()) != 6 {
+		t.Errorf("AllFormats() = %d entries, want 6", len(AllFormats()))
+	}
+	if StaticBPWidth(13).Bits != 13 {
+		t.Error("StaticBPWidth")
+	}
+	c := FromValues([]uint64{1, 2})
+	if c.N() != 2 {
+		t.Error("FromValues")
+	}
+	if _, err := Calc(CalcMul, c, c, Uncompressed, Scalar); err != nil {
+		t.Error(err)
+	}
+	if _, err := Intersect(c, c, Uncompressed); err != nil {
+		t.Error(err)
+	}
+	if _, err := Union(c, c, Uncompressed); err != nil {
+		t.Error(err)
+	}
+	if _, err := SelectBetween(c, 1, 2, Uncompressed, Scalar); err != nil {
+		t.Error(err)
+	}
+	p := Analyze([]uint64{5, 5, 5})
+	if n, err := EstimateBytes(p, RLE); err != nil || n <= 0 {
+		t.Error("EstimateBytes")
+	}
+}
