@@ -381,6 +381,114 @@ func BenchmarkFigure10CostModel(b *testing.B) {
 	})
 }
 
+// parLevels are the parallelism degrees the morsel/scheduler benchmarks
+// sweep; on a >=4-core host par4 vs par1 is the headline speedup.
+var benchParLevels = []int{1, 2, 4, 8}
+
+// BenchmarkParallelSelectDynBP measures the morsel-parallel select driver
+// over a DynBP-compressed column at increasing parallelism degrees. The
+// par1 case is the sequential baseline (it dispatches to the plain
+// operator); outputs are byte-identical at every level.
+func BenchmarkParallelSelectDynBP(b *testing.B) {
+	vals, needle := datagen.GenerateSelectWorkload(datagen.C1, benchMicroN, 42)
+	col, err := formats.Compress(vals, columns.DynBPDesc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range benchParLevels {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			b.SetBytes(int64(len(vals) * 8))
+			for i := 0; i < b.N; i++ {
+				if _, err := ops.ParSelect(col, bitutil.CmpEq, needle, columns.DeltaBPDesc, vector.Vec512, par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSum measures the morsel-parallel whole-column sum over a
+// DynBP column.
+func BenchmarkParallelSum(b *testing.B) {
+	vals := datagen.Generate(datagen.C1, benchMicroN, 42)
+	col, err := formats.Compress(vals, columns.DynBPDesc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range benchParLevels {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			b.SetBytes(int64(len(vals) * 8))
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ops.ParSum(col, vector.Vec512, par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// dynBPBaseAssign compresses every base column of the plan with DynBP,
+// except randomly accessed ones, which must keep random access (static BP).
+func dynBPBaseAssign(p *core.Plan) map[string]columns.FormatDesc {
+	base := make(map[string]columns.FormatDesc)
+	for _, name := range p.BaseColumns() {
+		if p.RandomAccessed(name) {
+			base[name] = columns.StaticBPDesc(0)
+		} else {
+			base[name] = columns.DynBPDesc
+		}
+	}
+	return base
+}
+
+// BenchmarkParallelSSBQ11 runs the select-heavy SSB Q1.1 over
+// DynBP-compressed base columns at increasing Config.Parallelism. This is
+// the headline morsel-parallelism measurement: on a >=4-core host, par4
+// should run >= 2x faster than par1 while producing byte-identical results
+// (TestExecuteParallelismEquivalence proves the identity).
+func BenchmarkParallelSSBQ11(b *testing.B) {
+	data, plans := getBenchSSB(b)
+	plan := plans[ssb.Q11]
+	enc, err := data.DB.Encode(dynBPBaseAssign(plan))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range benchParLevels {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			cfg := core.UncompressedConfig(vector.Vec512)
+			cfg.Parallelism = par
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Execute(plan, enc, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSSBQ41 runs SSB Q4.1, whose plan has several independent
+// dimension-table select branches: this exercises the concurrent DAG
+// scheduler on top of the morsel-parallel kernels.
+func BenchmarkParallelSSBQ41(b *testing.B) {
+	data, plans := getBenchSSB(b)
+	plan := plans[ssb.Q41]
+	enc, err := data.DB.Encode(dynBPBaseAssign(plan))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range benchParLevels {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			cfg := core.UncompressedConfig(vector.Vec512)
+			cfg.Parallelism = par
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Execute(plan, enc, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCodecs measures compression and decompression throughput of every
 // format on the Table 1 columns (the §2.1 speed-vs-rate trade-off).
 func BenchmarkCodecs(b *testing.B) {

@@ -1,15 +1,22 @@
 // Command msbench measures the building blocks of MorphStore-Go in
 // isolation: per-format compression rate and (de)compression speed on the
-// Table 1 columns, SWAR kernel throughput, and morphing bandwidth. It is the
-// micro counterpart of cmd/msrepro's figure-level experiments and mirrors
-// the evaluation axes of the authors' earlier compression survey (§2.1:
-// compression rate vs compression speed vs decompression speed).
+// Table 1 columns, SWAR kernel throughput, morphing bandwidth, and the
+// morsel-parallel operator drivers. It is the micro counterpart of
+// cmd/msrepro's figure-level experiments and mirrors the evaluation axes of
+// the authors' earlier compression survey (§2.1: compression rate vs
+// compression speed vs decompression speed).
+//
+// With -json the collected measurements are emitted as a JSON document (for
+// archiving runs as BENCH_*.json) instead of the human-readable tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 	"time"
 
 	"morphstore/internal/bitutil"
@@ -23,25 +30,73 @@ import (
 	"morphstore/internal/vector"
 )
 
+// Record is one measurement of the run; the JSON archive is a flat list of
+// these plus a small header.
+type Record struct {
+	Section string  `json:"section"`
+	Name    string  `json:"name"`
+	Metric  string  `json:"metric"`
+	Value   float64 `json:"value"`
+}
+
+// Report is the -json output document.
+type Report struct {
+	N         int      `json:"n"`
+	Seed      int64    `json:"seed"`
+	Repeats   int      `json:"repeats"`
+	GoMaxProc int      `json:"gomaxprocs"`
+	Records   []Record `json:"records"`
+}
+
+type bench struct {
+	jsonOut bool
+	records []Record
+}
+
+// printf writes human-readable output unless JSON mode is active.
+func (b *bench) printf(format string, args ...any) {
+	if !b.jsonOut {
+		fmt.Printf(format, args...)
+	}
+}
+
+func (b *bench) record(section, name, metric string, value float64) {
+	b.records = append(b.records, Record{Section: section, Name: name, Metric: metric, Value: value})
+}
+
 func main() {
 	n := flag.Int("n", 1<<22, "column size in elements")
 	seed := flag.Int64("seed", 42, "generator seed")
 	repeats := flag.Int("repeats", 3, "repetitions (minimum reported)")
+	par := flag.Int("par", runtime.GOMAXPROCS(0), "max parallelism degree for the morsel-parallel section")
+	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
 	flag.Parse()
 
-	if err := run(*n, *seed, *repeats); err != nil {
+	if *par < 1 {
+		*par = 1
+	}
+	b := &bench{jsonOut: *jsonOut}
+	if err := run(b, *n, *seed, *repeats, *par); err != nil {
 		log.Fatal(err)
+	}
+	if *jsonOut {
+		rep := Report{N: *n, Seed: *seed, Repeats: *repeats, GoMaxProc: runtime.GOMAXPROCS(0), Records: b.records}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 
-func run(n int, seed int64, repeats int) error {
-	fmt.Printf("codec micro-benchmarks, n=%d elements (%.0f MiB uncompressed)\n\n", n, float64(n*8)/(1<<20))
+func run(b *bench, n int, seed int64, repeats, par int) error {
+	b.printf("codec micro-benchmarks, n=%d elements (%.0f MiB uncompressed)\n\n", n, float64(n*8)/(1<<20))
 
 	for _, id := range datagen.All {
 		vals := datagen.Generate(id, n, seed)
-		fmt.Printf("-- column %v --\n", id)
-		fmt.Printf("%-14s %10s %14s %14s %12s\n", "format", "rate", "compr [GB/s]", "decompr[GB/s]", "est. err")
-		prof := costmodelProfile(vals)
+		b.printf("-- column %v --\n", id)
+		b.printf("%-14s %10s %14s %14s %12s\n", "format", "rate", "compr [GB/s]", "decompr[GB/s]", "est. err")
+		prof := stats.Collect(vals)
 		for _, desc := range formats.AllDescs() {
 			var col *columns.Column
 			ct, err := minTime(repeats, func() error {
@@ -67,14 +122,19 @@ func run(n int, seed int64, repeats int) error {
 			}
 			rate := float64(col.PhysicalBytes()) / float64(n*8)
 			errPct := 100 * (float64(est)/float64(col.PhysicalBytes()) - 1)
-			fmt.Printf("%-14v %9.1f%% %14.2f %14.2f %+11.1f%%\n",
+			b.printf("%-14v %9.1f%% %14.2f %14.2f %+11.1f%%\n",
 				desc, 100*rate, gbps(n, ct), gbps(n, dt), errPct)
+			name := id.String() + "/" + desc.String()
+			b.record("codec", name, "rate", rate)
+			b.record("codec", name, "compress_gbps", gbps(n, ct))
+			b.record("codec", name, "decompress_gbps", gbps(n, dt))
+			b.record("codec", name, "estimate_err_pct", errPct)
 		}
-		fmt.Println()
+		b.printf("\n")
 	}
 
 	// SWAR kernels vs scalar loops.
-	fmt.Println("-- SWAR kernels (8-bit fields) vs element-at-a-time --")
+	b.printf("-- SWAR kernels (8-bit fields) vs element-at-a-time --\n")
 	vals := make([]uint64, n)
 	for i := range vals {
 		vals[i] = uint64(i) % 251
@@ -97,8 +157,10 @@ func run(n int, seed int64, repeats int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("sum on packed words (SWAR): %8.2f GB/s\n", gbps(n, td))
-	fmt.Printf("sum via de/re-compression:  %8.2f GB/s\n", gbps(n, tg))
+	b.printf("sum on packed words (SWAR): %8.2f GB/s\n", gbps(n, td))
+	b.printf("sum via de/re-compression:  %8.2f GB/s\n", gbps(n, tg))
+	b.record("swar", "sum_direct", "gbps", gbps(n, td))
+	b.record("swar", "sum_otf", "gbps", gbps(n, tg))
 
 	ts, err := minTime(repeats, func() error {
 		_, err := ops.SelectStaticBPDirect(col, bitutil.CmpLt, 16, columns.DeltaBPDesc)
@@ -114,11 +176,13 @@ func run(n int, seed int64, repeats int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("select on packed words:     %8.2f GB/s\n", gbps(n, ts))
-	fmt.Printf("select via de/re-compr.:    %8.2f GB/s\n", gbps(n, to))
+	b.printf("select on packed words:     %8.2f GB/s\n", gbps(n, ts))
+	b.printf("select via de/re-compr.:    %8.2f GB/s\n", gbps(n, to))
+	b.record("swar", "select_direct", "gbps", gbps(n, ts))
+	b.record("swar", "select_otf", "gbps", gbps(n, to))
 
 	// Morphing bandwidth.
-	fmt.Println("\n-- morphing (DynBP -> StaticBP) --")
+	b.printf("\n-- morphing (DynBP -> StaticBP) --\n")
 	src, err := formats.Compress(datagen.Generate(datagen.C1, n, seed), columns.DynBPDesc)
 	if err != nil {
 		return err
@@ -137,13 +201,44 @@ func run(n int, seed int64, repeats int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("direct morph:     %8.2f GB/s\n", gbps(n, tm))
-	fmt.Printf("generic blockwise:%8.2f GB/s\n", gbps(n, tg2))
-	return nil
-}
+	b.printf("direct morph:     %8.2f GB/s\n", gbps(n, tm))
+	b.printf("generic blockwise:%8.2f GB/s\n", gbps(n, tg2))
+	b.record("morph", "direct", "gbps", gbps(n, tm))
+	b.record("morph", "generic_blockwise", "gbps", gbps(n, tg2))
 
-func costmodelProfile(vals []uint64) *stats.Profile {
-	return stats.Collect(vals)
+	// Morsel-parallel drivers: select and sum over a DynBP column at
+	// increasing parallelism (1 = the sequential operator).
+	b.printf("\n-- morsel-parallel kernels on DynBP (GOMAXPROCS=%d) --\n", runtime.GOMAXPROCS(0))
+	selVals, needle := datagen.GenerateSelectWorkload(datagen.C1, n, seed)
+	dynCol, err := formats.Compress(selVals, columns.DynBPDesc)
+	if err != nil {
+		return err
+	}
+	levels := []int{}
+	for p := 1; p < par; p *= 2 {
+		levels = append(levels, p)
+	}
+	levels = append(levels, par) // always measure the requested maximum
+	for _, p := range levels {
+		tp, err := minTime(repeats, func() error {
+			_, err := ops.ParSelect(dynCol, bitutil.CmpEq, needle, columns.DeltaBPDesc, vector.Vec512, p)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		tsum, err := minTime(repeats, func() error {
+			_, _, err := ops.ParSum(dynCol, vector.Vec512, p)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		b.printf("par=%-2d  select: %8.2f GB/s   sum: %8.2f GB/s\n", p, gbps(n, tp), gbps(n, tsum))
+		b.record("parallel", fmt.Sprintf("select_par%d", p), "gbps", gbps(n, tp))
+		b.record("parallel", fmt.Sprintf("sum_par%d", p), "gbps", gbps(n, tsum))
+	}
+	return nil
 }
 
 func minTime(repeats int, f func() error) (time.Duration, error) {

@@ -169,6 +169,7 @@ func runFig6(opt options) error {
 				return err
 			}
 			c := core.UncompressedConfig(vector.Vec512)
+			c.Parallelism = 1 // paper reproduction: sequential operator timings
 			if cfg.inter != nil {
 				c.Inter = cfg.inter
 			}

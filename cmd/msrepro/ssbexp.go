@@ -68,7 +68,11 @@ func getSSB(opt options) (*ssbCache, error) {
 }
 
 // verified executes the plan and checks the result against the reference.
+// The paper's figures measure the sequential operator-at-a-time model, so
+// the reproduction pins Parallelism to 1 (per-operator timings would
+// otherwise include scheduler contention on multi-core hosts).
 func (c *ssbCache) verified(q ssb.Query, db *core.DB, cfg *core.Config) (*core.Result, error) {
+	cfg.Parallelism = 1
 	res, err := core.Execute(c.plans[q], db, cfg)
 	if err != nil {
 		return nil, err

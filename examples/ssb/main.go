@@ -35,8 +35,12 @@ func main() {
 			log.Fatal(err)
 		}
 
-		// Uncompressed, vectorized.
-		resU, err := ms.Execute(plan, data.DB, ms.UncompressedConfig(ms.Vec512))
+		// Uncompressed, vectorized. Both runs pin Parallelism to 1 so the
+		// printed per-operator runtime comparison stays the sequential
+		// operator-at-a-time measurement on any host.
+		cfgU := ms.UncompressedConfig(ms.Vec512)
+		cfgU.Parallelism = 1
+		resU, err := ms.Execute(plan, data.DB, cfgU)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -52,6 +56,7 @@ func main() {
 			log.Fatal(err)
 		}
 		cfg := assign.Config(ms.Vec512, true)
+		cfg.Parallelism = 1
 		resC, err := ms.Execute(plan, encoded, cfg)
 		if err != nil {
 			log.Fatal(err)

@@ -77,8 +77,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Run uncompressed vs. cost-model-selected continuous compression.
-	resU, err := ms.Execute(plan, db, ms.UncompressedConfig(ms.Vec512))
+	// Run uncompressed vs. cost-model-selected continuous compression,
+	// pinned to sequential execution so the printed runtime comparison is
+	// the per-operator measurement on any host.
+	cfgU := ms.UncompressedConfig(ms.Vec512)
+	cfgU.Parallelism = 1
+	resU, err := ms.Execute(plan, db, cfgU)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,7 +94,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	resC, err := ms.Execute(plan, encoded, assign.Config(ms.Vec512, true))
+	cfgC := assign.Config(ms.Vec512, true)
+	cfgC.Parallelism = 1
+	resC, err := ms.Execute(plan, encoded, cfgC)
 	if err != nil {
 		log.Fatal(err)
 	}

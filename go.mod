@@ -1,0 +1,3 @@
+module morphstore
+
+go 1.21

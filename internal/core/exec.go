@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"morphstore/internal/columns"
@@ -90,6 +91,17 @@ type Config struct {
 	// Keep retains all intermediate columns in the result (used by the
 	// format-search and cost-model tooling).
 	Keep bool
+	// Parallelism is the executor's worker-goroutine budget: independent
+	// plan operators run concurrently on a dependency-counting scheduler,
+	// and the partitionable operator kernels (select, between, project,
+	// semijoin probe, sum) run morsel-parallel over block-aligned sections
+	// of their input, with the budget divided among the operators running
+	// at any moment (an operator keeps its initial share until it
+	// finishes, so brief overshoot is possible when branches join it).
+	// 0 means GOMAXPROCS; 1 reproduces the sequential operator-at-a-time
+	// execution exactly. Results are byte-identical at every parallelism
+	// level.
+	Parallelism int
 }
 
 // UncompressedConfig returns a config processing everything uncompressed.
@@ -127,7 +139,9 @@ type Measure struct {
 	// InterBytes is the physical size of all materialized intermediates
 	// (including result columns).
 	InterBytes int
-	// Runtime is the total operator time (base encoding excluded).
+	// Runtime is the total operator time (base encoding excluded). Under a
+	// concurrent execution (Config.Parallelism > 1) it is the sum of the
+	// individual operator times and can exceed the wall-clock time.
 	Runtime time.Duration
 	// PerOp records the runtime per operator kind.
 	PerOp map[string]time.Duration
@@ -148,7 +162,22 @@ type Result struct {
 	Meas Measure
 }
 
-// Execute runs the plan operator-at-a-time against db under cfg.
+// executor carries the shared state of one plan execution: the plan, the
+// configuration, the per-node output slots, and the accumulating result.
+type executor struct {
+	p     *Plan
+	db    *DB
+	cfg   *Config
+	par   int // effective worker budget (>= 1)
+	sinks map[string]bool
+	outs  [][]*columns.Column
+	res   *Result
+}
+
+// Execute runs the plan operator-at-a-time against db under cfg. With
+// cfg.Parallelism <= 1 the nodes run sequentially in topological order;
+// otherwise independent nodes run concurrently and partitionable kernels run
+// morsel-parallel, producing byte-identical columns either way.
 func Execute(p *Plan, db *DB, cfg *Config) (*Result, error) {
 	if cfg == nil {
 		cfg = UncompressedConfig(vector.Scalar)
@@ -159,193 +188,238 @@ func Execute(p *Plan, db *DB, cfg *Config) (*Result, error) {
 			return nil, fmt.Errorf("core: result column %q must stay uncompressed, configured %v", name, d)
 		}
 	}
-	outs := make([][]*columns.Column, len(p.nodes))
-	res := &Result{
-		Cols: make(map[string]*columns.Column, len(p.sinks)),
-		Meas: Measure{
-			PerOp:    make(map[string]time.Duration),
-			ColBytes: make(map[string]int),
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	e := &executor{
+		p:     p,
+		db:    db,
+		cfg:   cfg,
+		par:   par,
+		sinks: sinks,
+		outs:  make([][]*columns.Column, len(p.nodes)),
+		res: &Result{
+			Cols: make(map[string]*columns.Column, len(p.sinks)),
+			Meas: Measure{
+				PerOp:    make(map[string]time.Duration),
+				ColBytes: make(map[string]int),
+			},
 		},
 	}
 	if cfg.Keep {
-		res.Inter = make(map[string]*columns.Column)
+		e.res.Inter = make(map[string]*columns.Column)
 	}
-
-	// outDesc returns the format for a node output, honouring the
-	// result-column rule and the random-access restriction.
-	outDesc := func(name string) (columns.FormatDesc, error) {
-		if sinks[name] {
-			if d, ok := cfg.Inter[name]; ok && d.Kind != columns.Uncompressed {
-				return columns.FormatDesc{}, fmt.Errorf("core: result column %q must stay uncompressed, configured %v", name, d)
-			}
-			return columns.UncomprDesc, nil
-		}
-		d := cfg.interDesc(name)
-		if p.RandomAccessed(name) && !formats.HasRandomAccess(d.Kind) && !cfg.AutoMorph {
-			return columns.FormatDesc{}, fmt.Errorf("core: column %q needs random access but is configured %v (enable AutoMorph or choose uncompressed/static BP)", name, d)
-		}
-		return d, nil
+	var err error
+	if par <= 1 {
+		err = e.runSequential()
+	} else {
+		err = e.runConcurrent()
 	}
-
-	input := func(ref ColRef) *columns.Column { return outs[ref.node.id][ref.out] }
-
-	// randomInput fetches a project data input, inserting an on-the-fly
-	// morph to static BP if permitted and needed.
-	randomInput := func(ref ColRef) (*columns.Column, error) {
-		col := input(ref)
-		if formats.HasRandomAccess(col.Desc().Kind) {
-			return col, nil
-		}
-		if !cfg.AutoMorph {
-			return nil, fmt.Errorf("core: column %q needs random access but is %v", ref.Name(), col.Desc())
-		}
-		return morph.Morph(col, columns.StaticBPDesc(0))
+	if err != nil {
+		return nil, err
 	}
+	return e.res, nil
+}
 
-	for _, n := range p.nodes {
+// runSequential executes the nodes one at a time in topological order — the
+// original operator-at-a-time execution. The single running operator gets
+// the whole morsel budget.
+func (e *executor) runSequential() error {
+	for _, n := range e.p.nodes {
 		start := time.Now()
-		var produced []*columns.Column
-		var err error
-		switch n.op {
-		case OpScan:
-			col, cerr := db.Column(n.table, n.column)
-			if cerr != nil {
-				return nil, cerr
-			}
-			produced = []*columns.Column{col}
-		case OpSelect:
-			d, derr := outDesc(n.outNames[0])
-			if derr != nil {
-				return nil, derr
-			}
-			var c *columns.Column
-			c, err = ops.SelectAuto(input(n.inputs[0]), n.cmp, n.val, d, cfg.Style, cfg.Specialized)
-			produced = []*columns.Column{c}
-		case OpBetween:
-			d, derr := outDesc(n.outNames[0])
-			if derr != nil {
-				return nil, derr
-			}
-			var c *columns.Column
-			c, err = ops.SelectBetweenAuto(input(n.inputs[0]), n.val, n.val2, d, cfg.Style, cfg.Specialized)
-			produced = []*columns.Column{c}
-		case OpProject:
-			d, derr := outDesc(n.outNames[0])
-			if derr != nil {
-				return nil, derr
-			}
-			data, rerr := randomInput(n.inputs[0])
-			if rerr != nil {
-				return nil, rerr
-			}
-			var c *columns.Column
-			c, err = ops.Project(data, input(n.inputs[1]), d, cfg.Style)
-			produced = []*columns.Column{c}
-		case OpIntersect:
-			d, derr := outDesc(n.outNames[0])
-			if derr != nil {
-				return nil, derr
-			}
-			var c *columns.Column
-			c, err = ops.IntersectSorted(input(n.inputs[0]), input(n.inputs[1]), d)
-			produced = []*columns.Column{c}
-		case OpMerge:
-			d, derr := outDesc(n.outNames[0])
-			if derr != nil {
-				return nil, derr
-			}
-			var c *columns.Column
-			c, err = ops.MergeSorted(input(n.inputs[0]), input(n.inputs[1]), d)
-			produced = []*columns.Column{c}
-		case OpSemiJoin:
-			d, derr := outDesc(n.outNames[0])
-			if derr != nil {
-				return nil, derr
-			}
-			var c *columns.Column
-			c, err = ops.SemiJoin(input(n.inputs[0]), input(n.inputs[1]), d, cfg.Style)
-			produced = []*columns.Column{c}
-		case OpJoinN1:
-			dp, derr := outDesc(n.outNames[0])
-			if derr != nil {
-				return nil, derr
-			}
-			db2, derr := outDesc(n.outNames[1])
-			if derr != nil {
-				return nil, derr
-			}
-			var cp, cb *columns.Column
-			cp, cb, err = ops.JoinN1(input(n.inputs[0]), input(n.inputs[1]), dp, db2, cfg.Style)
-			produced = []*columns.Column{cp, cb}
-		case OpGroupFirst:
-			dg, derr := outDesc(n.outNames[0])
-			if derr != nil {
-				return nil, derr
-			}
-			de, derr := outDesc(n.outNames[1])
-			if derr != nil {
-				return nil, derr
-			}
-			var cg, ce *columns.Column
-			cg, ce, err = ops.GroupFirst(input(n.inputs[0]), dg, de, cfg.Style)
-			produced = []*columns.Column{cg, ce}
-		case OpGroupNext:
-			dg, derr := outDesc(n.outNames[0])
-			if derr != nil {
-				return nil, derr
-			}
-			de, derr := outDesc(n.outNames[1])
-			if derr != nil {
-				return nil, derr
-			}
-			var cg, ce *columns.Column
-			cg, ce, err = ops.GroupNext(input(n.inputs[0]), input(n.inputs[1]), dg, de, cfg.Style)
-			produced = []*columns.Column{cg, ce}
-		case OpSumWhole:
-			var c *columns.Column
-			_, c, err = ops.SumAuto(input(n.inputs[0]), cfg.Style, cfg.Specialized)
-			produced = []*columns.Column{c}
-		case OpSumGrouped:
-			nGroups := input(n.inputs[1]).N()
-			var c *columns.Column
-			c, err = ops.SumGrouped(input(n.inputs[0]), input(n.inputs[2]), nGroups, cfg.Style)
-			produced = []*columns.Column{c}
-		case OpCalc:
-			d, derr := outDesc(n.outNames[0])
-			if derr != nil {
-				return nil, derr
-			}
-			var c *columns.Column
-			c, err = ops.CalcBinary(n.calc, input(n.inputs[0]), input(n.inputs[1]), d, cfg.Style)
-			produced = []*columns.Column{c}
-		default:
-			return nil, fmt.Errorf("core: unknown operator %v", n.op)
-		}
+		produced, err := e.runNode(n, e.par)
 		if err != nil {
-			return nil, fmt.Errorf("core: %v %q: %w", n.op, n.outNames[0], err)
+			return err
 		}
-		elapsed := time.Since(start)
-		if n.op != OpScan {
-			res.Meas.Runtime += elapsed
-			res.Meas.PerOp[n.op.String()] += elapsed
-		}
-		outs[n.id] = produced
+		e.outs[n.id] = produced
+		e.account(n, produced, time.Since(start))
+	}
+	return nil
+}
 
-		for i, col := range produced {
-			name := n.outNames[i]
-			res.Meas.ColBytes[name] = col.PhysicalBytes()
-			if n.op == OpScan {
-				res.Meas.BaseBytes += col.PhysicalBytes()
-			} else {
-				res.Meas.InterBytes += col.PhysicalBytes()
-			}
-			if cfg.Keep {
-				res.Inter[name] = col
-			}
-			if sinks[name] {
-				res.Cols[name] = col
-			}
+// outDesc returns the format for a node output, honouring the result-column
+// rule and the random-access restriction.
+func (e *executor) outDesc(name string) (columns.FormatDesc, error) {
+	if e.sinks[name] {
+		if d, ok := e.cfg.Inter[name]; ok && d.Kind != columns.Uncompressed {
+			return columns.FormatDesc{}, fmt.Errorf("core: result column %q must stay uncompressed, configured %v", name, d)
+		}
+		return columns.UncomprDesc, nil
+	}
+	d := e.cfg.interDesc(name)
+	if e.p.RandomAccessed(name) && !formats.HasRandomAccess(d.Kind) && !e.cfg.AutoMorph {
+		return columns.FormatDesc{}, fmt.Errorf("core: column %q needs random access but is configured %v (enable AutoMorph or choose uncompressed/static BP)", name, d)
+	}
+	return d, nil
+}
+
+// input resolves a node input column. The producing node is always complete
+// before its consumers are scheduled.
+func (e *executor) input(ref ColRef) *columns.Column { return e.outs[ref.node.id][ref.out] }
+
+// randomInput fetches a project data input, inserting an on-the-fly morph to
+// static BP if permitted and needed.
+func (e *executor) randomInput(ref ColRef) (*columns.Column, error) {
+	col := e.input(ref)
+	if formats.HasRandomAccess(col.Desc().Kind) {
+		return col, nil
+	}
+	if !e.cfg.AutoMorph {
+		return nil, fmt.Errorf("core: column %q needs random access but is %v", ref.Name(), col.Desc())
+	}
+	return morph.Morph(col, columns.StaticBPDesc(0))
+}
+
+// runNode executes one plan operator with the given morsel-parallelism
+// budget and returns its output columns. It only reads the executor state
+// and the already-complete outputs of the node's inputs, so distinct nodes
+// can run on distinct goroutines.
+func (e *executor) runNode(n *Node, par int) ([]*columns.Column, error) {
+	cfg := e.cfg
+	var produced []*columns.Column
+	var err error
+	switch n.op {
+	case OpScan:
+		col, cerr := e.db.Column(n.table, n.column)
+		if cerr != nil {
+			return nil, cerr
+		}
+		produced = []*columns.Column{col}
+	case OpSelect:
+		d, derr := e.outDesc(n.outNames[0])
+		if derr != nil {
+			return nil, derr
+		}
+		var c *columns.Column
+		c, err = ops.ParSelectAuto(e.input(n.inputs[0]), n.cmp, n.val, d, cfg.Style, cfg.Specialized, par)
+		produced = []*columns.Column{c}
+	case OpBetween:
+		d, derr := e.outDesc(n.outNames[0])
+		if derr != nil {
+			return nil, derr
+		}
+		var c *columns.Column
+		c, err = ops.ParSelectBetweenAuto(e.input(n.inputs[0]), n.val, n.val2, d, cfg.Style, cfg.Specialized, par)
+		produced = []*columns.Column{c}
+	case OpProject:
+		d, derr := e.outDesc(n.outNames[0])
+		if derr != nil {
+			return nil, derr
+		}
+		data, rerr := e.randomInput(n.inputs[0])
+		if rerr != nil {
+			return nil, rerr
+		}
+		var c *columns.Column
+		c, err = ops.ParProject(data, e.input(n.inputs[1]), d, cfg.Style, par)
+		produced = []*columns.Column{c}
+	case OpIntersect:
+		d, derr := e.outDesc(n.outNames[0])
+		if derr != nil {
+			return nil, derr
+		}
+		var c *columns.Column
+		c, err = ops.IntersectSorted(e.input(n.inputs[0]), e.input(n.inputs[1]), d)
+		produced = []*columns.Column{c}
+	case OpMerge:
+		d, derr := e.outDesc(n.outNames[0])
+		if derr != nil {
+			return nil, derr
+		}
+		var c *columns.Column
+		c, err = ops.MergeSorted(e.input(n.inputs[0]), e.input(n.inputs[1]), d)
+		produced = []*columns.Column{c}
+	case OpSemiJoin:
+		d, derr := e.outDesc(n.outNames[0])
+		if derr != nil {
+			return nil, derr
+		}
+		var c *columns.Column
+		c, err = ops.ParSemiJoin(e.input(n.inputs[0]), e.input(n.inputs[1]), d, cfg.Style, par)
+		produced = []*columns.Column{c}
+	case OpJoinN1:
+		dp, derr := e.outDesc(n.outNames[0])
+		if derr != nil {
+			return nil, derr
+		}
+		db2, derr := e.outDesc(n.outNames[1])
+		if derr != nil {
+			return nil, derr
+		}
+		var cp, cb *columns.Column
+		cp, cb, err = ops.JoinN1(e.input(n.inputs[0]), e.input(n.inputs[1]), dp, db2, cfg.Style)
+		produced = []*columns.Column{cp, cb}
+	case OpGroupFirst:
+		dg, derr := e.outDesc(n.outNames[0])
+		if derr != nil {
+			return nil, derr
+		}
+		de, derr := e.outDesc(n.outNames[1])
+		if derr != nil {
+			return nil, derr
+		}
+		var cg, ce *columns.Column
+		cg, ce, err = ops.GroupFirst(e.input(n.inputs[0]), dg, de, cfg.Style)
+		produced = []*columns.Column{cg, ce}
+	case OpGroupNext:
+		dg, derr := e.outDesc(n.outNames[0])
+		if derr != nil {
+			return nil, derr
+		}
+		de, derr := e.outDesc(n.outNames[1])
+		if derr != nil {
+			return nil, derr
+		}
+		var cg, ce *columns.Column
+		cg, ce, err = ops.GroupNext(e.input(n.inputs[0]), e.input(n.inputs[1]), dg, de, cfg.Style)
+		produced = []*columns.Column{cg, ce}
+	case OpSumWhole:
+		var c *columns.Column
+		_, c, err = ops.ParSumAuto(e.input(n.inputs[0]), cfg.Style, cfg.Specialized, par)
+		produced = []*columns.Column{c}
+	case OpSumGrouped:
+		nGroups := e.input(n.inputs[1]).N()
+		var c *columns.Column
+		c, err = ops.SumGrouped(e.input(n.inputs[0]), e.input(n.inputs[2]), nGroups, cfg.Style)
+		produced = []*columns.Column{c}
+	case OpCalc:
+		d, derr := e.outDesc(n.outNames[0])
+		if derr != nil {
+			return nil, derr
+		}
+		var c *columns.Column
+		c, err = ops.CalcBinary(n.calc, e.input(n.inputs[0]), e.input(n.inputs[1]), d, cfg.Style)
+		produced = []*columns.Column{c}
+	default:
+		return nil, fmt.Errorf("core: unknown operator %v", n.op)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %v %q: %w", n.op, n.outNames[0], err)
+	}
+	return produced, nil
+}
+
+// account books the footprint and runtime of one completed node into the
+// result. In the concurrent execution the scheduler serializes calls.
+func (e *executor) account(n *Node, produced []*columns.Column, elapsed time.Duration) {
+	if n.op != OpScan {
+		e.res.Meas.Runtime += elapsed
+		e.res.Meas.PerOp[n.op.String()] += elapsed
+	}
+	for i, col := range produced {
+		name := n.outNames[i]
+		e.res.Meas.ColBytes[name] = col.PhysicalBytes()
+		if n.op == OpScan {
+			e.res.Meas.BaseBytes += col.PhysicalBytes()
+		} else {
+			e.res.Meas.InterBytes += col.PhysicalBytes()
+		}
+		if e.cfg.Keep {
+			e.res.Inter[name] = col
+		}
+		if e.sinks[name] {
+			e.res.Cols[name] = col
 		}
 	}
-	return res, nil
 }

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// This file implements the concurrent plan execution: a dependency-counting
+// DAG scheduler that runs independent plan operators on a small pool of
+// worker goroutines. Independent branches — e.g. the dimension-table selects
+// of the SSB Q4.x plans — proceed concurrently, while every node still sees
+// fully materialized inputs (operator-at-a-time semantics are preserved, so
+// the produced columns are byte-identical to the sequential execution).
+//
+// Synchronization model: a node's outputs (executor.outs) are written by the
+// worker that ran it and published under the scheduler mutex when its
+// dependents' counters are decremented; a dependent is only popped from the
+// ready queue under the same mutex, which establishes the happens-before
+// edge for the outputs it reads. Result accounting happens under the mutex
+// too, keeping the Measure maps race-free.
+
+// sched is the mutable scheduler state, guarded by mu.
+type sched struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      []int   // node ids ready to run
+	deps       []int   // open dependency count per node
+	dependents [][]int // node ids waiting on each node
+	inflight   int     // nodes currently executing
+	completed  int
+	total      int
+	err        error
+	done       bool
+}
+
+// runConcurrent executes the plan DAG on min(par, nodes) workers.
+func (e *executor) runConcurrent() error {
+	total := len(e.p.nodes)
+	s := &sched{
+		deps:       make([]int, total),
+		dependents: make([][]int, total),
+		total:      total,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for _, n := range e.p.nodes {
+		seen := make(map[int]bool, len(n.inputs))
+		for _, in := range n.inputs {
+			id := in.node.id
+			if !seen[id] {
+				seen[id] = true
+				s.deps[n.id]++
+				s.dependents[id] = append(s.dependents[id], n.id)
+			}
+		}
+	}
+	for id := 0; id < total; id++ {
+		if s.deps[id] == 0 {
+			s.queue = append(s.queue, id)
+		}
+	}
+	workers := e.par
+	if workers > total {
+		workers = total
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.schedWorker(s)
+		}()
+	}
+	wg.Wait()
+	return s.err
+}
+
+// schedWorker pulls ready nodes until the plan completes or fails.
+func (e *executor) schedWorker(s *sched) {
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.done {
+			s.cond.Wait()
+		}
+		if s.done || len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		id := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		s.inflight++
+		// Share the morsel budget among the operators running right now: a
+		// lone operator (linear plan segment) gets the whole budget, while
+		// concurrent independent branches split it, keeping the total number
+		// of kernel workers near e.par instead of multiplying.
+		par := e.par / s.inflight
+		if par < 1 {
+			par = 1
+		}
+		s.mu.Unlock()
+
+		n := e.p.nodes[id]
+		start := time.Now()
+		produced, err := e.runNode(n, par)
+		elapsed := time.Since(start)
+
+		s.mu.Lock()
+		s.inflight--
+		if err != nil {
+			if s.err == nil {
+				s.err = err
+			}
+			s.done = true
+		} else if s.err == nil {
+			e.outs[id] = produced
+			e.account(n, produced, elapsed)
+			for _, d := range s.dependents[id] {
+				s.deps[d]--
+				if s.deps[d] == 0 {
+					s.queue = append(s.queue, d)
+				}
+			}
+		}
+		s.completed++
+		if s.completed == s.total {
+			s.done = true
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}

@@ -183,7 +183,11 @@ func measureRuntime(p *Plan, cache *encCache, a *Assignment, style vector.Style,
 	}
 	bestT := time.Duration(0)
 	for i := 0; i < repeats; i++ {
-		res, err := Execute(p, dbv, a.Config(style, specialized))
+		cfg := a.Config(style, specialized)
+		// Runtime-driven format choices compare sequential operator times;
+		// concurrent execution would fold scheduler contention into them.
+		cfg.Parallelism = 1
+		res, err := Execute(p, dbv, cfg)
 		if err != nil {
 			return 0, err
 		}

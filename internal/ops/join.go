@@ -102,13 +102,9 @@ func JoinN1(probeKeys, buildKeys *columns.Column, outProbe, outBuild columns.For
 	return probePos, buildPos, err
 }
 
-// SemiJoin returns the probe positions whose key occurs in the build-side
-// key column (used when only the existence of a dimension match matters,
-// e.g. the date-filter joins of SSB Q1.x).
-func SemiJoin(probeKeys, buildKeys *columns.Column, out columns.FormatDesc, style vector.Style) (*columns.Column, error) {
-	if err := checkCols(probeKeys, buildKeys); err != nil {
-		return nil, err
-	}
+// buildMembershipTable decompresses the build-side keys into a hash table
+// for existence probes; shared by the sequential and parallel semijoins.
+func buildMembershipTable(buildKeys *columns.Column) (*u64Map, error) {
 	build, err := readAll(buildKeys)
 	if err != nil {
 		return nil, fmt.Errorf("ops: semijoin build side: %w", err)
@@ -116,6 +112,20 @@ func SemiJoin(probeKeys, buildKeys *columns.Column, out columns.FormatDesc, styl
 	ht := newU64Map(len(build))
 	for _, k := range build {
 		ht.put(k, 1)
+	}
+	return ht, nil
+}
+
+// SemiJoin returns the probe positions whose key occurs in the build-side
+// key column (used when only the existence of a dimension match matters,
+// e.g. the date-filter joins of SSB Q1.x).
+func SemiJoin(probeKeys, buildKeys *columns.Column, out columns.FormatDesc, style vector.Style) (*columns.Column, error) {
+	if err := checkCols(probeKeys, buildKeys); err != nil {
+		return nil, err
+	}
+	ht, err := buildMembershipTable(buildKeys)
+	if err != nil {
+		return nil, err
 	}
 
 	w, err := formats.NewWriter(positionDesc(out, probeKeys.N()), probeKeys.N())

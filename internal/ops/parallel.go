@@ -1,0 +1,341 @@
+package ops
+
+import (
+	"fmt"
+	"sync"
+
+	"morphstore/internal/bitutil"
+	"morphstore/internal/columns"
+	"morphstore/internal/formats"
+	"morphstore/internal/vector"
+)
+
+// This file implements morsel-parallel drivers around the streaming operator
+// kernels: the input column is split into contiguous, block-aligned
+// partitions (formats.SplitColumn), the existing format-oblivious kernels run
+// per partition on worker goroutines, and the per-partition outputs are
+// stitched back together in partition order through a single output writer.
+//
+// Because partitions are contiguous and processed with their global element
+// offset as the position base, position lists stay globally sorted, and the
+// final writer consumes exactly the same element stream as the sequential
+// operator — so the stitched column is byte-identical to the sequential
+// result for every output format (all writers are deterministic functions of
+// their input stream). Columns whose format cannot be sliced (RLE), columns
+// too small to split, and par <= 1 all fall back to the sequential operator.
+
+// runParts executes fn for every partition on its own goroutine and returns
+// the first error. Workers communicate only through their own index slot.
+func runParts(parts []formats.Partition, fn func(i int, pt formats.Partition) error) error {
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, pt := range parts {
+		wg.Add(1)
+		go func(i int, pt formats.Partition) {
+			defer wg.Done()
+			errs[i] = fn(i, pt)
+		}(i, pt)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// streamSection feeds the elements of one column partition through process in
+// cache-resident chunks; base carries the global element offset so selective
+// kernels emit globally correct positions.
+func streamSection(col *columns.Column, pt formats.Partition, process func(vals []uint64, base uint64) error) error {
+	r, err := formats.NewSectionReader(col, pt.Start, pt.Count)
+	if err != nil {
+		return err
+	}
+	if vv, ok := r.(formats.ValueViewer); ok {
+		if vals, viewable := vv.View(); viewable {
+			return process(vals, uint64(pt.Start))
+		}
+	}
+	buf := make([]uint64, blockBuf)
+	base := uint64(pt.Start)
+	for {
+		k, err := r.Read(buf)
+		if err != nil {
+			return err
+		}
+		if k == 0 {
+			return nil
+		}
+		if err := process(buf[:k], base); err != nil {
+			return err
+		}
+		base += uint64(k)
+	}
+}
+
+// appendSink adapts a per-worker value buffer to the formats.Writer
+// interface so the sequential kernel helpers can stage into it unchanged.
+type appendSink struct{ vals []uint64 }
+
+func (s *appendSink) Write(v []uint64) error {
+	s.vals = append(s.vals, v...)
+	return nil
+}
+
+func (s *appendSink) Close() (*columns.Column, error) {
+	return columns.FromValues(s.vals), nil
+}
+
+// stitch writes the per-partition outputs in partition order through one
+// writer, which therefore sees the same element stream as the sequential
+// operator and produces a byte-identical column.
+func stitch(desc columns.FormatDesc, sizeHint int, chunks [][]uint64) (*columns.Column, error) {
+	w, err := formats.NewWriter(desc, sizeHint)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range chunks {
+		if err := w.Write(c); err != nil {
+			return nil, err
+		}
+	}
+	return w.Close()
+}
+
+// ParSelect is the morsel-parallel form of Select, splitting the input into
+// at most par partitions. It falls back to the sequential operator when the
+// input cannot or need not be split.
+func ParSelect(in *columns.Column, op bitutil.CmpKind, val uint64, out columns.FormatDesc, style vector.Style, par int) (*columns.Column, error) {
+	if err := checkCols(in); err != nil {
+		return nil, err
+	}
+	parts := formats.SplitColumn(in, par)
+	if parts == nil {
+		return Select(in, op, val, out, style)
+	}
+	return parSelect(in, parts, op, val, out, style)
+}
+
+// ParSelectAuto is the morsel-parallel form of SelectAuto: it parallelizes
+// with the generic kernels when the input splits, and otherwise dispatches
+// to the sequential auto operator (which may pick a specialized kernel).
+func ParSelectAuto(in *columns.Column, op bitutil.CmpKind, val uint64, out columns.FormatDesc, style vector.Style, specialized bool, par int) (*columns.Column, error) {
+	if err := checkCols(in); err != nil {
+		return nil, err
+	}
+	parts := formats.SplitColumn(in, par)
+	if parts == nil {
+		return SelectAuto(in, op, val, out, style, specialized)
+	}
+	return parSelect(in, parts, op, val, out, style)
+}
+
+func parSelect(in *columns.Column, parts []formats.Partition, op bitutil.CmpKind, val uint64, out columns.FormatDesc, style vector.Style) (*columns.Column, error) {
+	results := make([][]uint64, len(parts))
+	err := runParts(parts, func(i int, pt formats.Partition) error {
+		stage := make([]uint64, blockBuf)
+		sink := &appendSink{vals: make([]uint64, 0, pt.Count/8+16)}
+		if err := streamSection(in, pt, func(vals []uint64, base uint64) error {
+			return selectOver(vals, base, op, val, style, stage, sink)
+		}); err != nil {
+			return err
+		}
+		results[i] = sink.vals
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ops: parallel select: %w", err)
+	}
+	return stitch(positionDesc(out, in.N()), in.N(), results)
+}
+
+// ParSelectBetween is the morsel-parallel form of SelectBetween.
+func ParSelectBetween(in *columns.Column, lo, hi uint64, out columns.FormatDesc, style vector.Style, par int) (*columns.Column, error) {
+	if err := checkCols(in); err != nil {
+		return nil, err
+	}
+	parts := formats.SplitColumn(in, par)
+	if parts == nil {
+		return SelectBetween(in, lo, hi, out, style)
+	}
+	return parSelectBetween(in, parts, lo, hi, out, style)
+}
+
+// ParSelectBetweenAuto is the morsel-parallel form of SelectBetweenAuto.
+func ParSelectBetweenAuto(in *columns.Column, lo, hi uint64, out columns.FormatDesc, style vector.Style, specialized bool, par int) (*columns.Column, error) {
+	if err := checkCols(in); err != nil {
+		return nil, err
+	}
+	parts := formats.SplitColumn(in, par)
+	if parts == nil {
+		return SelectBetweenAuto(in, lo, hi, out, style, specialized)
+	}
+	return parSelectBetween(in, parts, lo, hi, out, style)
+}
+
+func parSelectBetween(in *columns.Column, parts []formats.Partition, lo, hi uint64, out columns.FormatDesc, style vector.Style) (*columns.Column, error) {
+	results := make([][]uint64, len(parts))
+	err := runParts(parts, func(i int, pt formats.Partition) error {
+		stage := make([]uint64, blockBuf)
+		sink := &appendSink{vals: make([]uint64, 0, pt.Count/8+16)}
+		if err := streamSection(in, pt, func(vals []uint64, base uint64) error {
+			return betweenOver(vals, base, lo, hi, style, stage, sink)
+		}); err != nil {
+			return err
+		}
+		results[i] = sink.vals
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ops: parallel select between: %w", err)
+	}
+	return stitch(positionDesc(out, in.N()), in.N(), results)
+}
+
+// ParProject is the morsel-parallel form of Project: the position list is
+// partitioned and every worker gathers into its own disjoint range of one
+// shared destination buffer (output offsets are known a priori because
+// project emits exactly one value per position).
+func ParProject(data, pos *columns.Column, out columns.FormatDesc, style vector.Style, par int) (*columns.Column, error) {
+	if err := checkCols(data, pos); err != nil {
+		return nil, err
+	}
+	parts := formats.SplitColumn(pos, par)
+	if parts == nil {
+		return Project(data, pos, out, style)
+	}
+	dst := make([]uint64, pos.N())
+	vals, direct := data.Values()
+	useVecGather := direct && style == vector.Vec512
+	err := runParts(parts, func(_ int, pt formats.Partition) error {
+		// Each worker gets its own accessor: the static BP accessor caches
+		// the most recently decoded group and must not be shared. The vec
+		// gather fast path reads the value slice directly instead.
+		var ra formats.RandomAccessor
+		if !useVecGather {
+			var err error
+			ra, err = formats.RandomAccess(data)
+			if err != nil {
+				return err
+			}
+		}
+		off := pt.Start
+		return streamSection(pos, pt, func(ps []uint64, _ uint64) error {
+			for len(ps) > 0 {
+				chunk := ps
+				if len(chunk) > blockBuf {
+					chunk = chunk[:blockBuf]
+				}
+				if err := checkPositions(chunk, data.N()); err != nil {
+					return err
+				}
+				if useVecGather {
+					gatherKernelVec(vals, chunk, dst[off:])
+				} else {
+					ra.Gather(dst[off:off+len(chunk)], chunk)
+				}
+				off += len(chunk)
+				ps = ps[len(chunk):]
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ops: parallel project: %w", err)
+	}
+	return stitch(out, pos.N(), [][]uint64{dst})
+}
+
+// ParSemiJoin is the morsel-parallel form of SemiJoin: the build-side hash
+// table is constructed once and probed read-only by all workers over
+// partitions of the probe column.
+func ParSemiJoin(probe, build *columns.Column, out columns.FormatDesc, style vector.Style, par int) (*columns.Column, error) {
+	if err := checkCols(probe, build); err != nil {
+		return nil, err
+	}
+	parts := formats.SplitColumn(probe, par)
+	if parts == nil {
+		return SemiJoin(probe, build, out, style)
+	}
+	ht, err := buildMembershipTable(build)
+	if err != nil {
+		return nil, err
+	}
+	results := make([][]uint64, len(parts))
+	err = runParts(parts, func(i int, pt formats.Partition) error {
+		local := make([]uint64, 0, pt.Count/8+16)
+		if err := streamSection(probe, pt, func(vals []uint64, base uint64) error {
+			for j, v := range vals {
+				if _, ok := ht.get(v); ok {
+					local = append(local, base+uint64(j))
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		results[i] = local
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ops: parallel semijoin: %w", err)
+	}
+	return stitch(positionDesc(out, probe.N()), probe.N(), results)
+}
+
+// ParSum is the morsel-parallel form of SumWhole: per-partition partial sums
+// combine by modular addition, which is order-independent, so the total is
+// identical to the sequential result.
+func ParSum(in *columns.Column, style vector.Style, par int) (uint64, *columns.Column, error) {
+	if err := checkCols(in); err != nil {
+		return 0, nil, err
+	}
+	parts := formats.SplitColumn(in, par)
+	if parts == nil {
+		return SumWhole(in, style)
+	}
+	return parSum(in, parts, style)
+}
+
+// ParSumAuto is the morsel-parallel form of SumAuto.
+func ParSumAuto(in *columns.Column, style vector.Style, specialized bool, par int) (uint64, *columns.Column, error) {
+	if err := checkCols(in); err != nil {
+		return 0, nil, err
+	}
+	parts := formats.SplitColumn(in, par)
+	if parts == nil {
+		return SumAuto(in, style, specialized)
+	}
+	return parSum(in, parts, style)
+}
+
+func parSum(in *columns.Column, parts []formats.Partition, style vector.Style) (uint64, *columns.Column, error) {
+	partials := make([]uint64, len(parts))
+	err := runParts(parts, func(i int, pt formats.Partition) error {
+		var t uint64
+		if err := streamSection(in, pt, func(vals []uint64, _ uint64) error {
+			if style == vector.Vec512 {
+				t += sumKernelVec(vals)
+			} else {
+				for _, v := range vals {
+					t += v
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		partials[i] = t
+		return nil
+	})
+	if err != nil {
+		return 0, nil, fmt.Errorf("ops: parallel sum: %w", err)
+	}
+	var total uint64
+	for _, t := range partials {
+		total += t
+	}
+	return total, columns.FromValues([]uint64{total}), nil
+}

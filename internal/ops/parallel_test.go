@@ -1,0 +1,236 @@
+package ops
+
+import (
+	"math/rand"
+	"testing"
+
+	"morphstore/internal/bitutil"
+	"morphstore/internal/columns"
+	"morphstore/internal/formats"
+	"morphstore/internal/vector"
+)
+
+// parLevels are the parallelism degrees every operator is checked at; the
+// sequential operator (degree 1 by definition) is the reference.
+var parLevels = []int{1, 2, 3, 8}
+
+// parTestN is deliberately not a multiple of the 512-element block, so every
+// column has an uncompressed remainder and the last partition is ragged.
+const parTestN = 11*formats.BlockLen + 437
+
+func parTestValues(n int) []uint64 {
+	rng := rand.New(rand.NewSource(99))
+	vals := make([]uint64, n)
+	for i := range vals {
+		if i%101 == 0 {
+			vals[i] = uint64(rng.Intn(1 << 28)) // outliers for DynBP width variety
+		} else {
+			vals[i] = uint64(rng.Intn(500))
+		}
+	}
+	return vals
+}
+
+// assertSameColumn fails unless got is byte-identical to want: same format,
+// same extents, same physical words.
+func assertSameColumn(t *testing.T, ctx string, want, got *columns.Column) {
+	t.Helper()
+	if got.Desc() != want.Desc() {
+		t.Fatalf("%s: desc %v, want %v", ctx, got.Desc(), want.Desc())
+	}
+	if got.N() != want.N() || got.MainElems() != want.MainElems() {
+		t.Fatalf("%s: extents n=%d/main=%d, want n=%d/main=%d",
+			ctx, got.N(), got.MainElems(), want.N(), want.MainElems())
+	}
+	gw, ww := got.Words(), want.Words()
+	if len(gw) != len(ww) {
+		t.Fatalf("%s: %d words, want %d", ctx, len(gw), len(ww))
+	}
+	for i := range ww {
+		if gw[i] != ww[i] {
+			t.Fatalf("%s: word %d = %#x, want %#x", ctx, i, gw[i], ww[i])
+		}
+	}
+}
+
+// TestParallelOperatorEquivalence is the cross-product equivalence check:
+// every parallel operator, at every parallelism degree, over every input
+// format x output format x processing style, must produce a column
+// byte-identical to the sequential path.
+func TestParallelOperatorEquivalence(t *testing.T) {
+	vals := parTestValues(parTestN)
+	inputs := make(map[columns.Kind]*columns.Column)
+	for _, d := range formats.AllDescs() {
+		col, err := formats.Compress(vals, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs[d.Kind] = col
+	}
+
+	for _, inDesc := range formats.AllDescs() {
+		in := inputs[inDesc.Kind]
+		for _, outDesc := range formats.AllDescs() {
+			for _, style := range vector.Styles {
+				ctx := inDesc.String() + "->" + outDesc.String() + "/" + style.String()
+
+				seqSel, err := Select(in, bitutil.CmpLt, 250, outDesc, style)
+				if err != nil {
+					t.Fatalf("select %s: %v", ctx, err)
+				}
+				seqBet, err := SelectBetween(in, 100, 400, outDesc, style)
+				if err != nil {
+					t.Fatalf("between %s: %v", ctx, err)
+				}
+				for _, par := range parLevels {
+					got, err := ParSelect(in, bitutil.CmpLt, 250, outDesc, style, par)
+					if err != nil {
+						t.Fatalf("par select %s p=%d: %v", ctx, par, err)
+					}
+					assertSameColumn(t, "select "+ctx, seqSel, got)
+					got, err = ParSelectBetween(in, 100, 400, outDesc, style, par)
+					if err != nil {
+						t.Fatalf("par between %s p=%d: %v", ctx, par, err)
+					}
+					assertSameColumn(t, "between "+ctx, seqBet, got)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelSumEquivalence(t *testing.T) {
+	vals := parTestValues(parTestN)
+	for _, inDesc := range formats.AllDescs() {
+		in, err := formats.Compress(vals, inDesc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, style := range vector.Styles {
+			want, wantCol, err := SumWhole(in, style)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range parLevels {
+				got, gotCol, err := ParSum(in, style, par)
+				if err != nil {
+					t.Fatalf("par sum %v/%v p=%d: %v", inDesc, style, par, err)
+				}
+				if got != want {
+					t.Fatalf("par sum %v/%v p=%d: %d, want %d", inDesc, style, par, got, want)
+				}
+				assertSameColumn(t, "sum", wantCol, gotCol)
+			}
+		}
+	}
+}
+
+func TestParallelProjectEquivalence(t *testing.T) {
+	vals := parTestValues(parTestN)
+	// Sorted positions touching every third element, non-block-aligned count.
+	posVals := make([]uint64, 0, parTestN/3)
+	for i := 0; i < parTestN; i += 3 {
+		posVals = append(posVals, uint64(i))
+	}
+	for _, dataDesc := range formats.RandomAccessDescs() {
+		data, err := formats.Compress(vals, dataDesc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, posDesc := range formats.AllDescs() {
+			pos, err := formats.Compress(posVals, posDesc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, outDesc := range formats.AllDescs() {
+				for _, style := range vector.Styles {
+					want, err := Project(data, pos, outDesc, style)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, par := range parLevels {
+						got, err := ParProject(data, pos, outDesc, style, par)
+						if err != nil {
+							t.Fatalf("par project %v/%v/%v/%v p=%d: %v",
+								dataDesc, posDesc, outDesc, style, par, err)
+						}
+						assertSameColumn(t, "project", want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelSemiJoinEquivalence(t *testing.T) {
+	vals := parTestValues(parTestN)
+	buildVals := []uint64{1, 7, 42, 99, 123, 250, 444}
+	for _, probeDesc := range formats.AllDescs() {
+		probe, err := formats.Compress(vals, probeDesc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, buildDesc := range []columns.FormatDesc{columns.UncomprDesc, columns.DynBPDesc} {
+			build, err := formats.Compress(buildVals, buildDesc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, outDesc := range formats.AllDescs() {
+				for _, style := range vector.Styles {
+					want, err := SemiJoin(probe, build, outDesc, style)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, par := range parLevels {
+						got, err := ParSemiJoin(probe, build, outDesc, style, par)
+						if err != nil {
+							t.Fatalf("par semijoin %v/%v/%v p=%d: %v",
+								probeDesc, outDesc, style, par, err)
+						}
+						assertSameColumn(t, "semijoin", want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelAutoMatchesSpecialized checks that the auto dispatchers stay
+// byte-identical to the sequential auto path even when the sequential side
+// picks a specialized direct kernel (static BP SWAR, RLE run-level).
+func TestParallelAutoMatchesSpecialized(t *testing.T) {
+	vals := make([]uint64, parTestN)
+	for i := range vals {
+		vals[i] = uint64(i % 200)
+	}
+	for _, inDesc := range []columns.FormatDesc{columns.StaticBPDesc(8), columns.RLEDesc} {
+		in, err := formats.Compress(vals, inDesc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := SelectAuto(in, bitutil.CmpLt, 50, columns.DeltaBPDesc, vector.Vec512, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range parLevels {
+			got, err := ParSelectAuto(in, bitutil.CmpLt, 50, columns.DeltaBPDesc, vector.Vec512, true, par)
+			if err != nil {
+				t.Fatalf("%v p=%d: %v", inDesc, par, err)
+			}
+			assertSameColumn(t, "auto select "+inDesc.String(), want, got)
+		}
+		wantSum, _, err := SumAuto(in, vector.Vec512, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range parLevels {
+			gotSum, _, err := ParSumAuto(in, vector.Vec512, true, par)
+			if err != nil {
+				t.Fatalf("%v p=%d: %v", inDesc, par, err)
+			}
+			if gotSum != wantSum {
+				t.Fatalf("auto sum %v p=%d: %d, want %d", inDesc, par, gotSum, wantSum)
+			}
+		}
+	}
+}

@@ -177,10 +177,7 @@ func CompressStore(dst []uint64, m Mask, v Vec) int {
 	case 0:
 		return 0
 	case FullMask:
-		_ = dst[Lanes-1]
-		for i := 0; i < Lanes; i++ {
-			dst[i] = v[i]
-		}
+		v.Store(dst)
 		return Lanes
 	}
 	_ = dst[Lanes-1]
@@ -205,12 +202,4 @@ func (v Vec) HSum() uint64 {
 }
 
 // Count returns the number of set lane bits in the mask.
-func (m Mask) Count() int {
-	c := 0
-	for i := 0; i < Lanes; i++ {
-		if m&(1<<i) != 0 {
-			c++
-		}
-	}
-	return c
-}
+func (m Mask) Count() int { return bits.OnesCount8(uint8(m)) }

@@ -156,6 +156,35 @@ func Sum(in *Column, style Style) (uint64, error) {
 	return s, err
 }
 
+// ParSelect is the morsel-parallel form of Select: the input is split into
+// at most par contiguous block-aligned partitions processed on worker
+// goroutines. The result is byte-identical to Select at every par.
+func ParSelect(in *Column, op CmpKind, val uint64, out FormatDesc, style Style, par int) (*Column, error) {
+	return ops.ParSelect(in, op, val, out, style, par)
+}
+
+// ParSelectBetween is the morsel-parallel form of SelectBetween.
+func ParSelectBetween(in *Column, lo, hi uint64, out FormatDesc, style Style, par int) (*Column, error) {
+	return ops.ParSelectBetween(in, lo, hi, out, style, par)
+}
+
+// ParProject is the morsel-parallel form of Project.
+func ParProject(data, pos *Column, out FormatDesc, style Style, par int) (*Column, error) {
+	return ops.ParProject(data, pos, out, style, par)
+}
+
+// ParSemiJoin emits probe positions whose key occurs in build, probing the
+// shared build-side hash table from par workers.
+func ParSemiJoin(probe, build *Column, out FormatDesc, style Style, par int) (*Column, error) {
+	return ops.ParSemiJoin(probe, build, out, style, par)
+}
+
+// ParSum is the morsel-parallel form of Sum.
+func ParSum(in *Column, style Style, par int) (uint64, error) {
+	s, _, err := ops.ParSum(in, style, par)
+	return s, err
+}
+
 // Intersect intersects two sorted position lists.
 func Intersect(a, b *Column, out FormatDesc) (*Column, error) {
 	return ops.IntersectSorted(a, b, out)
@@ -205,7 +234,8 @@ type DB = core.DB
 func NewDB() *DB { return core.NewDB() }
 
 // Config assigns formats to a plan's intermediates and selects the
-// processing style.
+// processing style and the parallelism degree (Config.Parallelism: 0 =
+// GOMAXPROCS, 1 = sequential; results are byte-identical at every level).
 type Config = core.Config
 
 // Result is a plan execution outcome with footprint/runtime accounting.

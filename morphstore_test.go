@@ -1,6 +1,7 @@
 package morphstore
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -130,6 +131,91 @@ func TestFacadeSSB(t *testing.T) {
 	}
 	if len(got) != len(want) || got[0].Sum != want[0].Sum {
 		t.Fatalf("facade SSB result mismatch: %v vs %v", got, want)
+	}
+}
+
+// TestFacadeSSBParallel runs all 13 SSB queries under the concurrent
+// scheduler + morsel-parallel kernels and checks the canonical result rows
+// against the row-wise ground truth.
+func TestFacadeSSBParallel(t *testing.T) {
+	data, err := GenerateSSB(0.005, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range SSBQueries {
+		plan, err := BuildSSBPlan(q, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := UncompressedConfig(Vec512)
+		cfg.Parallelism = 8
+		res, err := Execute(plan, data.DB, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		got, err := ExtractSSBResult(q, res)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		want, err := SSBReference(q, data)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d rows, want %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if fmt.Sprint(got[i]) != fmt.Sprint(want[i]) {
+				t.Fatalf("%s row %d: %v, want %v", q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFacadeParallelOps checks the morsel-parallel facade wrappers against
+// their sequential counterparts.
+func TestFacadeParallelOps(t *testing.T) {
+	// Large enough to clear the 2*MinMorsel split threshold, so the
+	// morsel-parallel drivers genuinely run rather than falling back.
+	vals := make([]uint64, 9000)
+	for i := range vals {
+		vals[i] = uint64(i % 777)
+	}
+	col, err := Compress(vals, DynBP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Select(col, CmpLt, 100, DeltaBP, Vec512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParSelect(col, CmpLt, 100, DeltaBP, Vec512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.String() != got.String() {
+		t.Fatalf("ParSelect: %v, want %v", got, want)
+	}
+	if _, err := ParSelectBetween(col, 10, 20, Uncompressed, Scalar, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParSemiJoin(col, FromValues([]uint64{5, 6}), Uncompressed, Scalar, 4); err != nil {
+		t.Fatal(err)
+	}
+	data := FromValues(vals)
+	if _, err := ParProject(data, want, Uncompressed, Scalar, 4); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := Sum(col, Vec512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := ParSum(col, Vec512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws != gs {
+		t.Fatalf("ParSum = %d, want %d", gs, ws)
 	}
 }
 
