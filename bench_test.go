@@ -427,6 +427,87 @@ func BenchmarkParallelSum(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelJoinN1 measures the morsel-parallel N:1 join probe over a
+// DynBP probe column against a shared read-only hash table (~50% match rate).
+func BenchmarkParallelJoinN1(b *testing.B) {
+	vals := datagen.Generate(datagen.C1, benchMicroN, 42)
+	probeVals := make([]uint64, len(vals))
+	const nBuild = 4096
+	for i, v := range vals {
+		probeVals[i] = v % (2 * nBuild)
+	}
+	probe, err := formats.Compress(probeVals, columns.DynBPDesc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buildVals := make([]uint64, nBuild)
+	for i := range buildVals {
+		buildVals[i] = uint64(i)
+	}
+	build := columns.FromValues(buildVals)
+	for _, par := range benchParLevels {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			b.SetBytes(int64(len(vals) * 8))
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ops.ParJoinN1(probe, build, columns.DeltaBPDesc, columns.DynBPDesc, vector.Vec512, par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelCalc measures the morsel-parallel element-wise multiply
+// over two DynBP columns streamed in lockstep.
+func BenchmarkParallelCalc(b *testing.B) {
+	a, err := formats.Compress(datagen.Generate(datagen.C1, benchMicroN, 42), columns.DynBPDesc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := formats.Compress(datagen.Generate(datagen.C1, benchMicroN, 43), columns.DynBPDesc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range benchParLevels {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			b.SetBytes(int64(benchMicroN * 8))
+			for i := 0; i < b.N; i++ {
+				if _, err := ops.ParCalcBinary(ops.CalcMul, a, c, columns.DynBPDesc, vector.Vec512, par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSumGrouped measures the morsel-parallel grouped sum with
+// per-worker partial group-sum arrays (1024 groups).
+func BenchmarkParallelSumGrouped(b *testing.B) {
+	const nGroups = 1024
+	gidVals := make([]uint64, benchMicroN)
+	for i := range gidVals {
+		gidVals[i] = uint64(i) % nGroups
+	}
+	gids, err := formats.Compress(gidVals, columns.DynBPDesc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals, err := formats.Compress(datagen.Generate(datagen.C1, benchMicroN, 42), columns.DynBPDesc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range benchParLevels {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			b.SetBytes(int64(benchMicroN * 8))
+			for i := 0; i < b.N; i++ {
+				if _, err := ops.ParSumGrouped(gids, vals, nGroups, vector.Vec512, par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // dynBPBaseAssign compresses every base column of the plan with DynBP,
 // except randomly accessed ones, which must keep random access (static BP).
 func dynBPBaseAssign(p *core.Plan) map[string]columns.FormatDesc {

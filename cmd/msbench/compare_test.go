@@ -1,0 +1,159 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// syntheticReport builds a report with nMetrics throughput metrics at 10 GB/s
+// plus one compression-rate metric.
+func syntheticReport(nMetrics int, gbps float64) *Report {
+	rep := &Report{N: 1 << 18, Seed: 42, Repeats: 3}
+	for i := 0; i < nMetrics; i++ {
+		rep.Records = append(rep.Records, Record{
+			Section: "parallel", Name: fmt.Sprintf("kernel%d", i), Metric: "gbps", Value: gbps,
+		})
+	}
+	rep.Records = append(rep.Records,
+		Record{Section: "codec", Name: "c1/dyn_bp", Metric: "rate", Value: 0.25},
+		Record{Section: "codec", Name: "c1/dyn_bp", Metric: "estimate_err_pct", Value: -3},
+	)
+	return rep
+}
+
+func cloneReport(r *Report) *Report {
+	c := *r
+	c.Records = append([]Record(nil), r.Records...)
+	return &c
+}
+
+func TestCompareIdenticalRunPasses(t *testing.T) {
+	base := syntheticReport(20, 10)
+	if _, failures := compareReports(base, cloneReport(base), 0.25); len(failures) != 0 {
+		t.Fatalf("identical run failed the gate: %v", failures)
+	}
+}
+
+// TestCompareUniformSlowdownPasses models a uniformly slower CI runner: every
+// throughput metric at half speed. The median normalization must absorb it.
+func TestCompareUniformSlowdownPasses(t *testing.T) {
+	base := syntheticReport(20, 10)
+	run := cloneReport(base)
+	for i := range run.Records {
+		if classifyMetric(run.Records[i].Section, run.Records[i].Metric) == gateThroughput {
+			run.Records[i].Value /= 2
+		}
+	}
+	if _, failures := compareReports(base, run, 0.25); len(failures) != 0 {
+		t.Fatalf("uniform machine slowdown failed the gate: %v", failures)
+	}
+}
+
+// TestCompareInjectedSlowdownFails injects a 30% slowdown into a single
+// kernel: the gate must flag exactly that metric.
+func TestCompareInjectedSlowdownFails(t *testing.T) {
+	base := syntheticReport(20, 10)
+	run := cloneReport(base)
+	run.Records[3].Value *= 0.70
+	_, failures := compareReports(base, run, 0.25)
+	if len(failures) != 1 {
+		t.Fatalf("expected 1 failure, got %v", failures)
+	}
+	if !strings.Contains(failures[0], "parallel/kernel3/gbps") {
+		t.Fatalf("wrong metric flagged: %v", failures[0])
+	}
+}
+
+// TestCompareSmallJitterPasses keeps a 10% dip within the 25% tolerance.
+func TestCompareSmallJitterPasses(t *testing.T) {
+	base := syntheticReport(20, 10)
+	run := cloneReport(base)
+	run.Records[3].Value *= 0.90
+	if _, failures := compareReports(base, run, 0.25); len(failures) != 0 {
+		t.Fatalf("10%% jitter failed the gate: %v", failures)
+	}
+}
+
+// TestCompareCompressNotGated checks that the noisy allocation-heavy
+// compression timings are reported but never fail the gate.
+func TestCompareCompressNotGated(t *testing.T) {
+	base := syntheticReport(8, 10)
+	base.Records = append(base.Records,
+		Record{Section: "codec", Name: "c1/dyn_bp", Metric: "compress_gbps", Value: 5})
+	run := cloneReport(base)
+	run.Records[len(run.Records)-1].Value = 2 // 60% down: would fail if gated
+	lines, failures := compareReports(base, run, 0.25)
+	if len(failures) != 0 {
+		t.Fatalf("compress_gbps must not be gated: %v", failures)
+	}
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "compress_gbps") && strings.Contains(l, "info") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("compress_gbps must still be reported informationally")
+	}
+}
+
+func TestCompareRateRegressionFails(t *testing.T) {
+	base := syntheticReport(8, 10)
+	run := cloneReport(base)
+	for i := range run.Records {
+		if run.Records[i].Metric == "rate" {
+			run.Records[i].Value = 0.40 // compresses much worse than 0.25
+		}
+	}
+	_, failures := compareReports(base, run, 0.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "rate") {
+		t.Fatalf("rate regression not flagged: %v", failures)
+	}
+}
+
+// TestMergeReportsMedian checks that merging takes the per-metric median and
+// so discards the one-off fast/slow process sample.
+func TestMergeReportsMedian(t *testing.T) {
+	a := syntheticReport(2, 10)
+	b := syntheticReport(2, 11)
+	c := syntheticReport(2, 30) // outlier process
+	merged, err := mergeReports([]*Report{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Records) != len(a.Records) {
+		t.Fatalf("merged %d records, want %d", len(merged.Records), len(a.Records))
+	}
+	if got := merged.Records[0].Value; got != 11 {
+		t.Fatalf("median = %v, want 11", got)
+	}
+	mismatched := syntheticReport(2, 10)
+	mismatched.N = 999
+	if _, err := mergeReports([]*Report{a, mismatched}); err == nil {
+		t.Fatal("merging reports of different workloads must fail")
+	}
+}
+
+// TestCompareWorkloadMismatchFails checks that the gate refuses to compare
+// reports recorded on different workloads instead of producing spurious
+// rate/throughput verdicts.
+func TestCompareWorkloadMismatchFails(t *testing.T) {
+	base := syntheticReport(8, 10)
+	run := cloneReport(base)
+	run.N *= 2
+	_, failures := compareReports(base, run, 0.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "workload mismatch") {
+		t.Fatalf("workload mismatch not flagged: %v", failures)
+	}
+}
+
+func TestCompareMissingMetricFails(t *testing.T) {
+	base := syntheticReport(8, 10)
+	run := cloneReport(base)
+	run.Records = run.Records[1:] // drop kernel0
+	_, failures := compareReports(base, run, 0.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("missing metric not flagged: %v", failures)
+	}
+}

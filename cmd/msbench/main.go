@@ -70,22 +70,80 @@ func main() {
 	repeats := flag.Int("repeats", 3, "repetitions (minimum reported)")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "max parallelism degree for the morsel-parallel section")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
+	merge := flag.Bool("merge", false, "merge the report files given as arguments by per-metric median and emit the result (no benchmarks run)")
+	compare := flag.String("compare", "", "baseline JSON report to gate against (exit 1 on regression)")
+	against := flag.String("against", "", "with -compare: gate this already-recorded report instead of running benchmarks")
+	tolerance := flag.Float64("tolerance", 0.25, "relative tolerance of the -compare regression gate")
 	flag.Parse()
 
-	if *par < 1 {
-		*par = 1
-	}
-	b := &bench{jsonOut: *jsonOut}
-	if err := run(b, *n, *seed, *repeats, *par); err != nil {
-		log.Fatal(err)
-	}
-	if *jsonOut {
-		rep := Report{N: *n, Seed: *seed, Repeats: *repeats, GoMaxProc: runtime.GOMAXPROCS(0), Records: b.records}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
+	if *merge {
+		reps := make([]*Report, 0, flag.NArg())
+		for _, path := range flag.Args() {
+			reps = append(reps, loadReport(path))
+		}
+		merged, err := mergeReports(reps)
+		if err != nil {
 			log.Fatal(err)
 		}
+		writeJSON(merged)
+		return
+	}
+
+	var rep *Report
+	if *against != "" {
+		if *compare == "" {
+			log.Fatal("-against requires -compare")
+		}
+		rep = loadReport(*against)
+	} else {
+		if *par < 1 {
+			*par = 1
+		}
+		b := &bench{jsonOut: *jsonOut}
+		if err := run(b, *n, *seed, *repeats, *par); err != nil {
+			log.Fatal(err)
+		}
+		rep = &Report{N: *n, Seed: *seed, Repeats: *repeats, GoMaxProc: runtime.GOMAXPROCS(0), Records: b.records}
+		if *jsonOut {
+			writeJSON(rep)
+		}
+	}
+	if *compare != "" {
+		base := loadReport(*compare)
+		// The comparison goes to stderr so `-json -compare ... > run.json`
+		// archives the run while the gate stays visible in the CI log.
+		lines, failures := compareReports(base, rep, *tolerance)
+		for _, l := range lines {
+			fmt.Fprintln(os.Stderr, l)
+		}
+		if len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "\nbenchmark regression gate FAILED (%d):\n", len(failures))
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "  "+f)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "benchmark regression gate passed")
+	}
+}
+
+func loadReport(path string) *Report {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		log.Fatalf("parse report %s: %v", path, err)
+	}
+	return &rep
+}
+
+func writeJSON(rep *Report) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
 	}
 }
 
@@ -214,6 +272,34 @@ func run(b *bench, n int, seed int64, repeats, par int) error {
 	if err != nil {
 		return err
 	}
+	// Workloads for the join/calc/grouped-sum drivers: a half-matching
+	// unique-key build side, a second value column, and a dense group-id
+	// column, all DynBP-compressed like the probe/value column above.
+	probeVals := make([]uint64, n)
+	gidVals := make([]uint64, n)
+	const nBuild, nGroups = 4096, 1024
+	for i := range probeVals {
+		probeVals[i] = selVals[i] % (2 * nBuild) // ~50% hit the build side
+		gidVals[i] = uint64(i) % nGroups
+	}
+	probeCol, err := formats.Compress(probeVals, columns.DynBPDesc)
+	if err != nil {
+		return err
+	}
+	gidCol, err := formats.Compress(gidVals, columns.DynBPDesc)
+	if err != nil {
+		return err
+	}
+	calcCol, err := formats.Compress(datagen.Generate(datagen.C1, n, seed+1), columns.DynBPDesc)
+	if err != nil {
+		return err
+	}
+	buildVals := make([]uint64, nBuild)
+	for i := range buildVals {
+		buildVals[i] = uint64(i)
+	}
+	buildCol := columns.FromValues(buildVals)
+
 	levels := []int{}
 	for p := 1; p < par; p *= 2 {
 		levels = append(levels, p)
@@ -234,9 +320,34 @@ func run(b *bench, n int, seed int64, repeats, par int) error {
 		if err != nil {
 			return err
 		}
-		b.printf("par=%-2d  select: %8.2f GB/s   sum: %8.2f GB/s\n", p, gbps(n, tp), gbps(n, tsum))
+		tjoin, err := minTime(repeats, func() error {
+			_, _, err := ops.ParJoinN1(probeCol, buildCol, columns.DeltaBPDesc, columns.DynBPDesc, vector.Vec512, p)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		tcalc, err := minTime(repeats, func() error {
+			_, err := ops.ParCalcBinary(ops.CalcMul, dynCol, calcCol, columns.DynBPDesc, vector.Vec512, p)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		tgsum, err := minTime(repeats, func() error {
+			_, err := ops.ParSumGrouped(gidCol, dynCol, nGroups, vector.Vec512, p)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		b.printf("par=%-2d  select: %8.2f GB/s   sum: %8.2f GB/s   joinn1: %8.2f GB/s   calc: %8.2f GB/s   sum_grouped: %8.2f GB/s\n",
+			p, gbps(n, tp), gbps(n, tsum), gbps(n, tjoin), gbps(n, tcalc), gbps(n, tgsum))
 		b.record("parallel", fmt.Sprintf("select_par%d", p), "gbps", gbps(n, tp))
 		b.record("parallel", fmt.Sprintf("sum_par%d", p), "gbps", gbps(n, tsum))
+		b.record("parallel", fmt.Sprintf("joinn1_par%d", p), "gbps", gbps(n, tjoin))
+		b.record("parallel", fmt.Sprintf("calc_par%d", p), "gbps", gbps(n, tcalc))
+		b.record("parallel", fmt.Sprintf("sum_grouped_par%d", p), "gbps", gbps(n, tgsum))
 	}
 	return nil
 }

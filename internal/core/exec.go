@@ -94,7 +94,8 @@ type Config struct {
 	// Parallelism is the executor's worker-goroutine budget: independent
 	// plan operators run concurrently on a dependency-counting scheduler,
 	// and the partitionable operator kernels (select, between, project,
-	// semijoin probe, sum) run morsel-parallel over block-aligned sections
+	// semijoin probe, N:1 join probe, binary calc, whole-column and grouped
+	// sum) run morsel-parallel over block-aligned sections
 	// of their input, with the budget divided among the operators running
 	// at any moment (an operator keeps its initial share until it
 	// finishes, so brief overshoot is possible when branches join it).
@@ -348,7 +349,7 @@ func (e *executor) runNode(n *Node, par int) ([]*columns.Column, error) {
 			return nil, derr
 		}
 		var cp, cb *columns.Column
-		cp, cb, err = ops.JoinN1(e.input(n.inputs[0]), e.input(n.inputs[1]), dp, db2, cfg.Style)
+		cp, cb, err = ops.ParJoinN1(e.input(n.inputs[0]), e.input(n.inputs[1]), dp, db2, cfg.Style, par)
 		produced = []*columns.Column{cp, cb}
 	case OpGroupFirst:
 		dg, derr := e.outDesc(n.outNames[0])
@@ -381,7 +382,7 @@ func (e *executor) runNode(n *Node, par int) ([]*columns.Column, error) {
 	case OpSumGrouped:
 		nGroups := e.input(n.inputs[1]).N()
 		var c *columns.Column
-		c, err = ops.SumGrouped(e.input(n.inputs[0]), e.input(n.inputs[2]), nGroups, cfg.Style)
+		c, err = ops.ParSumGrouped(e.input(n.inputs[0]), e.input(n.inputs[2]), nGroups, cfg.Style, par)
 		produced = []*columns.Column{c}
 	case OpCalc:
 		d, derr := e.outDesc(n.outNames[0])
@@ -389,7 +390,7 @@ func (e *executor) runNode(n *Node, par int) ([]*columns.Column, error) {
 			return nil, derr
 		}
 		var c *columns.Column
-		c, err = ops.CalcBinary(n.calc, e.input(n.inputs[0]), e.input(n.inputs[1]), d, cfg.Style)
+		c, err = ops.ParCalcBinary(n.calc, e.input(n.inputs[0]), e.input(n.inputs[1]), d, cfg.Style, par)
 		produced = []*columns.Column{c}
 	default:
 		return nil, fmt.Errorf("core: unknown operator %v", n.op)

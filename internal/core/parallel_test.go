@@ -40,8 +40,10 @@ func buildParTestDB(t *testing.T) *DB {
 }
 
 // buildParTestPlan assembles a plan with two independent filter branches
-// (fodder for the concurrent scheduler), a semijoin, projects, a grouped and
-// a whole-column aggregation.
+// (fodder for the concurrent scheduler), a semijoin, an N:1 join with both
+// outputs consumed, projects, a calc, a grouped and a whole-column
+// aggregation — every morsel-parallel streamed operator appears at least
+// once.
 func buildParTestPlan(t *testing.T) *Plan {
 	t.Helper()
 	b := NewBuilder()
@@ -64,6 +66,14 @@ func buildParTestPlan(t *testing.T) *Plan {
 	gids, extents := b.GroupFirst("g", fkPos)
 	b.Result(b.SumGrouped("rev_g", gids, extents, rev))
 	b.Result(b.SumWhole("rev_total", rev))
+
+	// N:1 join branch: both the probe-side and the build-side position
+	// outputs feed projects, pinning the dual-output stitch order.
+	jp, jb := b.JoinN1("j", fk, dIDs)
+	idJ := b.Project("id_j", dimID, jb)
+	qtyJ := b.Project("qty_j", qty, jp)
+	prod := b.Calc("jprod", ops.CalcMul, qtyJ, idJ)
+	b.Result(b.SumWhole("jtotal", prod))
 	p, err := b.Build()
 	if err != nil {
 		t.Fatal(err)
@@ -89,8 +99,9 @@ func sameColumns(t *testing.T, ctx string, want, got *columns.Column) {
 }
 
 // TestExecuteParallelismEquivalence runs the same plan at parallelism 1, 2,
-// 3 and 8 under several format configurations and asserts that the result
-// columns and the byte accounting are identical at every level.
+// 3, 8 and blocks+1 (more workers than fact-column blocks — degenerate
+// partitions) under several format configurations and asserts that the
+// result columns and the byte accounting are identical at every level.
 func TestExecuteParallelismEquivalence(t *testing.T) {
 	db := buildParTestDB(t)
 	plan := buildParTestPlan(t)
@@ -124,7 +135,8 @@ func TestExecuteParallelismEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: sequential: %v", name, err)
 				}
-				for _, par := range []int{2, 3, 8} {
+				// 10*512+300 fact elements span 11 blocks; 12 over-subscribes.
+				for _, par := range []int{2, 3, 8, 12} {
 					got, err := Execute(plan, dbCase.db, mkCfg(par))
 					if err != nil {
 						t.Fatalf("%s p=%d: %v", name, par, err)

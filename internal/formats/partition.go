@@ -62,8 +62,36 @@ const MinMorsel = BufferLen
 // to yield more than one aligned morsel — callers treat nil as "process
 // sequentially".
 func SplitColumn(col *columns.Column, p int) []Partition {
-	align := PartitionAlign(col.Desc().Kind)
-	n := col.N()
+	return splitAligned(col.N(), p, PartitionAlign(col.Desc().Kind))
+}
+
+// SplitColumnsAligned splits two equally long columns at one set of shared
+// boundaries that respect both formats' partition alignments (the operator
+// pairs streamed in lockstep — calc inputs, group-id/value pairs — must cut
+// both inputs at identical element offsets). Every alignment is a power of
+// two dividing the 512-element block, so the shared alignment is simply the
+// larger of the two. It returns nil when either format cannot be partitioned,
+// when the lengths differ, or when the columns are too small to split.
+func SplitColumnsAligned(a, b *columns.Column, p int) []Partition {
+	if a.N() != b.N() {
+		return nil
+	}
+	alignA := PartitionAlign(a.Desc().Kind)
+	alignB := PartitionAlign(b.Desc().Kind)
+	if alignA == 0 || alignB == 0 {
+		return nil
+	}
+	align := alignA
+	if alignB > align {
+		align = alignB
+	}
+	return splitAligned(a.N(), p, align)
+}
+
+// splitAligned cuts the element range [0, n) into at most p contiguous
+// partitions on boundaries that are multiples of align, each at least
+// MinMorsel elements except the tail.
+func splitAligned(n, p, align int) []Partition {
 	if align == 0 || p <= 1 || n < 2*MinMorsel {
 		return nil
 	}

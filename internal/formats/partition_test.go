@@ -79,6 +79,66 @@ func TestSplitColumnCoversColumn(t *testing.T) {
 	}
 }
 
+// TestSplitColumnsAligned checks that the shared boundaries of a dual split
+// respect both formats' alignments, cover the columns exactly, and that
+// non-partitionable or mismatched pairs refuse to split.
+func TestSplitColumnsAligned(t *testing.T) {
+	n := 13*BlockLen + 123
+	vals := sectionTestValues(n)
+	for _, descA := range AllDescs() {
+		a, err := Compress(vals, descA)
+		if err != nil {
+			t.Fatalf("%v: %v", descA, err)
+		}
+		for _, descB := range AllDescs() {
+			b, err := Compress(vals, descB)
+			if err != nil {
+				t.Fatalf("%v: %v", descB, err)
+			}
+			for _, p := range []int{2, 3, 8, n/BlockLen + 2} {
+				parts := SplitColumnsAligned(a, b, p)
+				if !CanPartition(descA.Kind) || !CanPartition(descB.Kind) {
+					if parts != nil {
+						t.Fatalf("%v+%v: non-partitionable pair split into %v", descA, descB, parts)
+					}
+					continue
+				}
+				if parts == nil {
+					t.Fatalf("%v+%v p=%d: no partitions for n=%d", descA, descB, p, n)
+				}
+				alignA := PartitionAlign(descA.Kind)
+				alignB := PartitionAlign(descB.Kind)
+				next := 0
+				for _, pt := range parts {
+					if pt.Start != next {
+						t.Fatalf("%v+%v p=%d: gap at %d", descA, descB, p, next)
+					}
+					if pt.Start%alignA != 0 || pt.Start%alignB != 0 {
+						t.Fatalf("%v+%v p=%d: start %d not aligned to %d/%d",
+							descA, descB, p, pt.Start, alignA, alignB)
+					}
+					next = pt.Start + pt.Count
+				}
+				if next != n {
+					t.Fatalf("%v+%v p=%d: partitions cover %d of %d", descA, descB, p, next, n)
+				}
+			}
+		}
+	}
+	// Length mismatch must refuse to split.
+	short, err := Compress(vals[:n-1], columns.UncomprDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Compress(vals, columns.UncomprDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts := SplitColumnsAligned(full, short, 4); parts != nil {
+		t.Fatalf("mismatched lengths split into %v", parts)
+	}
+}
+
 func TestSectionReaderMatchesFullDecode(t *testing.T) {
 	n := 15*BlockLen + 301
 	vals := sectionTestValues(n)

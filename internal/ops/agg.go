@@ -74,32 +74,26 @@ func SumGrouped(gids, vals *columns.Column, nGroups int, style vector.Style) (*c
 		return nil, err
 	}
 	sums := make([]uint64, nGroups)
-	bufG := make([]uint64, blockBuf)
-	bufV := make([]uint64, blockBuf)
-	for {
-		ng, err := readFull(rg, bufG)
-		if err != nil {
-			return nil, fmt.Errorf("ops: grouped sum: %w", err)
-		}
-		nv, err := readFull(rv, bufV[:min(len(bufV), max(ng, 1))])
-		if err != nil {
-			return nil, fmt.Errorf("ops: grouped sum: %w", err)
-		}
-		if ng == 0 && nv == 0 {
-			break
-		}
-		if ng != nv {
-			return nil, fmt.Errorf("ops: grouped sum: input columns diverge (%d vs %d elements)", ng, nv)
-		}
-		for i := 0; i < ng; i++ {
-			g := bufG[i]
-			if g >= uint64(nGroups) {
-				return nil, fmt.Errorf("ops: grouped sum: group id %d out of range [0,%d)", g, nGroups)
-			}
-			sums[g] += bufV[i]
-		}
+	err = streamPaired(rg, rv, 0, func(gs, vs []uint64, _ uint64) error {
+		return sumGroupedChunk(sums, gs, vs, nGroups)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ops: grouped sum: %w", err)
 	}
 	return columns.FromValues(sums), nil
+}
+
+// sumGroupedChunk accumulates one aligned chunk pair into sums, range
+// checking every group id; shared by the sequential operator and the
+// parallel per-worker accumulation.
+func sumGroupedChunk(sums, gs, vs []uint64, nGroups int) error {
+	for i, g := range gs {
+		if g >= uint64(nGroups) {
+			return fmt.Errorf("group id %d out of range [0,%d)", g, nGroups)
+		}
+		sums[g] += vs[i]
+	}
+	return nil
 }
 
 func max(a, b int) int {

@@ -70,32 +70,17 @@ func CalcBinary(op CalcKind, a, b *columns.Column, out columns.FormatDesc, style
 	if err != nil {
 		return nil, err
 	}
-	bufA := make([]uint64, blockBuf)
-	bufB := make([]uint64, blockBuf)
 	stage := make([]uint64, blockBuf)
-	for {
-		na, err := readFull(ra, bufA)
-		if err != nil {
-			return nil, fmt.Errorf("ops: calc: %w", err)
-		}
-		nb, err := readFull(rb, bufB[:min(len(bufB), max(na, 1))])
-		if err != nil {
-			return nil, fmt.Errorf("ops: calc: %w", err)
-		}
-		if na == 0 && nb == 0 {
-			break
-		}
-		if na != nb {
-			return nil, fmt.Errorf("ops: calc: input columns diverge (%d vs %d elements)", na, nb)
-		}
+	err = streamPaired(ra, rb, 0, func(va, vb []uint64, _ uint64) error {
 		if style == vector.Vec512 {
-			calcKernelVec(op, bufA[:na], bufB[:na], stage)
+			calcKernelVec(op, va, vb, stage)
 		} else {
-			calcKernelScalar(op, bufA[:na], bufB[:na], stage)
+			calcKernelScalar(op, va, vb, stage)
 		}
-		if err := w.Write(stage[:na]); err != nil {
-			return nil, err
-		}
+		return w.Write(stage[:len(va)])
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ops: calc: %w", err)
 	}
 	return w.Close()
 }

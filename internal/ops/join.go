@@ -20,13 +20,9 @@ func JoinN1(probeKeys, buildKeys *columns.Column, outProbe, outBuild columns.For
 	if err := checkCols(probeKeys, buildKeys); err != nil {
 		return nil, nil, err
 	}
-	build, err := readAll(buildKeys)
+	ht, err := buildJoinTable(buildKeys)
 	if err != nil {
-		return nil, nil, fmt.Errorf("ops: join build side: %w", err)
-	}
-	ht := newU64Map(len(build))
-	for i, k := range build {
-		ht.put(k, uint64(i))
+		return nil, nil, err
 	}
 
 	wp, err := formats.NewWriter(positionDesc(outProbe, probeKeys.N()), probeKeys.N())
@@ -100,6 +96,21 @@ func JoinN1(probeKeys, buildKeys *columns.Column, outProbe, outBuild columns.For
 	}
 	buildPos, err = wb.Close()
 	return probePos, buildPos, err
+}
+
+// buildJoinTable decompresses the unique build-side keys into a hash table
+// mapping key -> build position; shared by the sequential and parallel N:1
+// joins.
+func buildJoinTable(buildKeys *columns.Column) (*u64Map, error) {
+	build, err := readAll(buildKeys)
+	if err != nil {
+		return nil, fmt.Errorf("ops: join build side: %w", err)
+	}
+	ht := newU64Map(len(build))
+	for i, k := range build {
+		ht.put(k, uint64(i))
+	}
+	return ht, nil
 }
 
 // buildMembershipTable decompresses the build-side keys into a hash table

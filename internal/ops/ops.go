@@ -93,6 +93,37 @@ func (p *pullReader) peek() (uint64, bool) {
 // advance moves past the current element.
 func (p *pullReader) advance() { p.pos++ }
 
+// streamPaired drains two equal-length element streams in lockstep chunks
+// and hands each aligned chunk pair to process; base carries the global
+// element offset of the first chunk. It is shared by the sequential
+// dual-input operators (calc, grouped sum) and the parallel section drivers,
+// so the chunk pairing and its divergence check cannot drift between paths
+// that must stay byte-identical.
+func streamPaired(ra, rb formats.Reader, base uint64, process func(va, vb []uint64, base uint64) error) error {
+	bufA := make([]uint64, blockBuf)
+	bufB := make([]uint64, blockBuf)
+	for {
+		na, err := readFull(ra, bufA)
+		if err != nil {
+			return err
+		}
+		nb, err := readFull(rb, bufB[:min(len(bufB), max(na, 1))])
+		if err != nil {
+			return err
+		}
+		if na == 0 && nb == 0 {
+			return nil
+		}
+		if na != nb {
+			return fmt.Errorf("input columns diverge (%d vs %d elements)", na, nb)
+		}
+		if err := process(bufA[:na], bufB[:nb], base); err != nil {
+			return err
+		}
+		base += uint64(na)
+	}
+}
+
 // readAll fully decompresses a column (used for small build sides).
 func readAll(col *columns.Column) ([]uint64, error) {
 	if vals, ok := col.Values(); ok {

@@ -75,6 +75,22 @@ func streamSection(col *columns.Column, pt formats.Partition, process func(vals 
 	}
 }
 
+// streamSections feeds one partition of two equally long columns through
+// process in lockstep chunks (both sections cover the same element range
+// [pt.Start, pt.Start+pt.Count), so chunk k of one column pairs with chunk k
+// of the other); base carries the global element offset of each chunk.
+func streamSections(a, b *columns.Column, pt formats.Partition, process func(va, vb []uint64, base uint64) error) error {
+	ra, err := formats.NewSectionReader(a, pt.Start, pt.Count)
+	if err != nil {
+		return err
+	}
+	rb, err := formats.NewSectionReader(b, pt.Start, pt.Count)
+	if err != nil {
+		return err
+	}
+	return streamPaired(ra, rb, uint64(pt.Start), process)
+}
+
 // appendSink adapts a per-worker value buffer to the formats.Writer
 // interface so the sequential kernel helpers can stage into it unchanged.
 type appendSink struct{ vals []uint64 }
@@ -309,6 +325,137 @@ func ParSumAuto(in *columns.Column, style vector.Style, specialized bool, par in
 		return SumAuto(in, style, specialized)
 	}
 	return parSum(in, parts, style)
+}
+
+// ParJoinN1 is the morsel-parallel form of JoinN1: the build-side hash table
+// (key -> build position) is constructed once and probed read-only by all
+// workers over partitions of the probe column. Each worker stages its two
+// aligned position outputs (probe position, joined build position) in local
+// buffers; both are stitched in partition order through one writer each, so
+// the dual outputs stay aligned row for row and byte-identical to the
+// sequential join.
+func ParJoinN1(probeKeys, buildKeys *columns.Column, outProbe, outBuild columns.FormatDesc, style vector.Style, par int) (probePos, buildPos *columns.Column, err error) {
+	if err := checkCols(probeKeys, buildKeys); err != nil {
+		return nil, nil, err
+	}
+	parts := formats.SplitColumn(probeKeys, par)
+	if parts == nil {
+		return JoinN1(probeKeys, buildKeys, outProbe, outBuild, style)
+	}
+	ht, err := buildJoinTable(buildKeys)
+	if err != nil {
+		return nil, nil, err
+	}
+	resP := make([][]uint64, len(parts))
+	resB := make([][]uint64, len(parts))
+	err = runParts(parts, func(i int, pt formats.Partition) error {
+		localP := make([]uint64, 0, pt.Count/8+16)
+		localB := make([]uint64, 0, pt.Count/8+16)
+		if err := streamSection(probeKeys, pt, func(vals []uint64, base uint64) error {
+			for j, v := range vals {
+				if b, ok := ht.get(v); ok {
+					localP = append(localP, base+uint64(j))
+					localB = append(localB, b)
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		resP[i], resB[i] = localP, localB
+		return nil
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("ops: parallel join: %w", err)
+	}
+	probePos, err = stitch(positionDesc(outProbe, probeKeys.N()), probeKeys.N(), resP)
+	if err != nil {
+		return nil, nil, err
+	}
+	buildPos, err = stitch(positionDesc(outBuild, buildKeys.N()), probeKeys.N(), resB)
+	return probePos, buildPos, err
+}
+
+// ParCalcBinary is the morsel-parallel form of CalcBinary: both inputs are
+// split at one set of shared block-aligned boundaries and streamed in
+// lockstep per partition. Calc emits exactly one value per element, so every
+// worker writes into its own disjoint range of one shared destination buffer,
+// which a single writer then recompresses.
+func ParCalcBinary(op CalcKind, a, b *columns.Column, out columns.FormatDesc, style vector.Style, par int) (*columns.Column, error) {
+	if err := checkCols(a, b); err != nil {
+		return nil, err
+	}
+	if a.N() != b.N() {
+		return nil, fmt.Errorf("ops: calc: inputs have %d and %d elements", a.N(), b.N())
+	}
+	parts := formats.SplitColumnsAligned(a, b, par)
+	if parts == nil {
+		return CalcBinary(op, a, b, out, style)
+	}
+	dst := make([]uint64, a.N())
+	err := runParts(parts, func(_ int, pt formats.Partition) error {
+		return streamSections(a, b, pt, func(va, vb []uint64, base uint64) error {
+			if style == vector.Vec512 {
+				calcKernelVec(op, va, vb, dst[base:])
+			} else {
+				calcKernelScalar(op, va, vb, dst[base:])
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ops: parallel calc: %w", err)
+	}
+	return stitch(out, a.N(), [][]uint64{dst})
+}
+
+// ParSumGrouped is the morsel-parallel form of SumGrouped: group ids and
+// values are split at shared boundaries, every worker accumulates into its
+// own partial group-sum array of length nGroups, and one reducer merges the
+// partials in partition order. Per-group addition modulo 2^64 is commutative
+// and associative, so the merged sums equal the sequential ones exactly, and
+// the result column (always uncompressed) is byte-identical. Groupings with
+// more groups than elements per partition fall back to the sequential
+// operator (the per-worker arrays and the merge would dominate).
+func ParSumGrouped(gids, vals *columns.Column, nGroups int, style vector.Style, par int) (*columns.Column, error) {
+	if err := checkCols(gids, vals); err != nil {
+		return nil, err
+	}
+	if gids.N() != vals.N() {
+		return nil, fmt.Errorf("ops: grouped sum: gids has %d elements, vals %d", gids.N(), vals.N())
+	}
+	if nGroups < 0 {
+		return nil, fmt.Errorf("ops: grouped sum: negative group count %d", nGroups)
+	}
+	parts := formats.SplitColumnsAligned(gids, vals, par)
+	// Each worker zeroes and the reducer re-adds an nGroups-length array;
+	// when groups are numerous relative to a partition's elements that
+	// overhead outweighs the parallelized scan, so high-cardinality
+	// groupings run sequentially.
+	if parts == nil || nGroups > gids.N()/len(parts) {
+		return SumGrouped(gids, vals, nGroups, style)
+	}
+	partials := make([][]uint64, len(parts))
+	err := runParts(parts, func(i int, pt formats.Partition) error {
+		local := make([]uint64, nGroups)
+		if err := streamSections(gids, vals, pt, func(gs, vs []uint64, _ uint64) error {
+			return sumGroupedChunk(local, gs, vs, nGroups)
+		}); err != nil {
+			return err
+		}
+		partials[i] = local
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ops: parallel grouped sum: %w", err)
+	}
+	sums := make([]uint64, nGroups)
+	for _, local := range partials {
+		for g, s := range local {
+			sums[g] += s
+		}
+	}
+	return columns.FromValues(sums), nil
 }
 
 func parSum(in *columns.Column, parts []formats.Partition, style vector.Style) (uint64, *columns.Column, error) {

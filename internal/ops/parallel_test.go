@@ -10,13 +10,19 @@ import (
 	"morphstore/internal/vector"
 )
 
-// parLevels are the parallelism degrees every operator is checked at; the
-// sequential operator (degree 1 by definition) is the reference.
-var parLevels = []int{1, 2, 3, 8}
-
 // parTestN is deliberately not a multiple of the 512-element block, so every
 // column has an uncompressed remainder and the last partition is ragged.
 const parTestN = 11*formats.BlockLen + 437
+
+// parTestBlocks is the block count of a parTestN column; requesting more
+// workers than blocks exercises the degenerate-partition clamping (the split
+// caps partitions at the aligned minimum-morsel granularity).
+const parTestBlocks = (parTestN + formats.BlockLen - 1) / formats.BlockLen
+
+// parLevels are the parallelism degrees every operator is checked at; the
+// sequential operator (degree 1 by definition) is the reference, and
+// parTestBlocks+1 over-subscribes the column.
+var parLevels = []int{1, 2, 3, 8, parTestBlocks + 1}
 
 func parTestValues(n int) []uint64 {
 	rng := rand.New(rand.NewSource(99))
@@ -191,6 +197,192 @@ func TestParallelSemiJoinEquivalence(t *testing.T) {
 					}
 				}
 			}
+		}
+	}
+}
+
+// TestParallelJoinN1Equivalence checks the dual-output N:1 join: for every
+// probe format x output format x style x parallelism degree, both stitched
+// position lists must be byte-identical to the sequential join's.
+func TestParallelJoinN1Equivalence(t *testing.T) {
+	vals := parTestValues(parTestN)
+	// Unique build keys covering about half of the probe value domain.
+	buildVals := make([]uint64, 250)
+	for i := range buildVals {
+		buildVals[i] = uint64(2 * i)
+	}
+	for _, probeDesc := range formats.AllDescs() {
+		probe, err := formats.Compress(vals, probeDesc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, buildDesc := range []columns.FormatDesc{columns.UncomprDesc, columns.DynBPDesc} {
+			build, err := formats.Compress(buildVals, buildDesc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, outDesc := range formats.AllDescs() {
+				for _, style := range vector.Styles {
+					ctx := probeDesc.String() + "->" + outDesc.String() + "/" + style.String()
+					wantP, wantB, err := JoinN1(probe, build, outDesc, outDesc, style)
+					if err != nil {
+						t.Fatalf("join %s: %v", ctx, err)
+					}
+					for _, par := range parLevels {
+						gotP, gotB, err := ParJoinN1(probe, build, outDesc, outDesc, style, par)
+						if err != nil {
+							t.Fatalf("par join %s p=%d: %v", ctx, par, err)
+						}
+						assertSameColumn(t, "join probe pos "+ctx, wantP, gotP)
+						assertSameColumn(t, "join build pos "+ctx, wantB, gotB)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelJoinN1Skewed pins the stitch ordering of the join's dual
+// outputs under extreme selectivity skew: one half of the probe column
+// matches everything and the other half matches nothing, in both orders, so
+// whole partitions produce either their full length or zero rows.
+func TestParallelJoinN1Skewed(t *testing.T) {
+	buildVals := make([]uint64, 300)
+	for i := range buildVals {
+		buildVals[i] = uint64(i)
+	}
+	mkProbe := func(matchFirstHalf bool) []uint64 {
+		probe := make([]uint64, parTestN)
+		for i := range probe {
+			inFirst := i < parTestN/2
+			if inFirst == matchFirstHalf {
+				probe[i] = uint64(i % len(buildVals)) // hits the build side
+			} else {
+				probe[i] = uint64(1_000_000 + i) // misses
+			}
+		}
+		return probe
+	}
+	for _, skew := range []struct {
+		name       string
+		matchFirst bool
+	}{{"all_match_then_none", true}, {"none_then_all_match", false}} {
+		probeVals := mkProbe(skew.matchFirst)
+		for _, probeDesc := range formats.AllDescs() {
+			probe, err := formats.Compress(probeVals, probeDesc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			build := columns.FromValues(buildVals)
+			for _, outDesc := range []columns.FormatDesc{columns.UncomprDesc, columns.StaticBPDesc(0), columns.DeltaBPDesc} {
+				ctx := skew.name + "/" + probeDesc.String() + "->" + outDesc.String()
+				wantP, wantB, err := JoinN1(probe, build, outDesc, outDesc, vector.Vec512)
+				if err != nil {
+					t.Fatalf("%s: %v", ctx, err)
+				}
+				for _, par := range parLevels {
+					gotP, gotB, err := ParJoinN1(probe, build, outDesc, outDesc, vector.Vec512, par)
+					if err != nil {
+						t.Fatalf("%s p=%d: %v", ctx, par, err)
+					}
+					assertSameColumn(t, "skew join probe pos "+ctx, wantP, gotP)
+					assertSameColumn(t, "skew join build pos "+ctx, wantB, gotB)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelCalcEquivalence checks the lockstep dual-input calc: both
+// inputs are split at shared boundaries even when their formats align
+// differently (e.g. uncompressed x DynBP).
+func TestParallelCalcEquivalence(t *testing.T) {
+	aVals := parTestValues(parTestN)
+	bVals := make([]uint64, parTestN)
+	for i := range bVals {
+		bVals[i] = uint64(i%977 + 1)
+	}
+	for _, aDesc := range formats.AllDescs() {
+		a, err := formats.Compress(aVals, aDesc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bDesc := range formats.AllDescs() {
+			bcol, err := formats.Compress(bVals, bDesc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, outDesc := range formats.AllDescs() {
+				for _, style := range vector.Styles {
+					for _, op := range []CalcKind{CalcAdd, CalcSub, CalcMul} {
+						ctx := aDesc.String() + op.String() + bDesc.String() + "->" + outDesc.String() + "/" + style.String()
+						want, err := CalcBinary(op, a, bcol, outDesc, style)
+						if err != nil {
+							t.Fatalf("calc %s: %v", ctx, err)
+						}
+						for _, par := range parLevels {
+							got, err := ParCalcBinary(op, a, bcol, outDesc, style, par)
+							if err != nil {
+								t.Fatalf("par calc %s p=%d: %v", ctx, par, err)
+							}
+							assertSameColumn(t, "calc "+ctx, want, got)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSumGroupedEquivalence checks the partial-group-sum merge: for
+// every gid format x value format x style x degree the merged sums must equal
+// the sequential single-array accumulation bit for bit.
+func TestParallelSumGroupedEquivalence(t *testing.T) {
+	const nGroups = 37
+	gidVals := make([]uint64, parTestN)
+	vVals := parTestValues(parTestN)
+	rng := rand.New(rand.NewSource(5))
+	for i := range gidVals {
+		gidVals[i] = uint64(rng.Intn(nGroups))
+	}
+	for _, gDesc := range formats.AllDescs() {
+		gids, err := formats.Compress(gidVals, gDesc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, vDesc := range formats.AllDescs() {
+			vals, err := formats.Compress(vVals, vDesc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, style := range vector.Styles {
+				ctx := gDesc.String() + "+" + vDesc.String() + "/" + style.String()
+				want, err := SumGrouped(gids, vals, nGroups, style)
+				if err != nil {
+					t.Fatalf("grouped sum %s: %v", ctx, err)
+				}
+				for _, par := range parLevels {
+					got, err := ParSumGrouped(gids, vals, nGroups, style, par)
+					if err != nil {
+						t.Fatalf("par grouped sum %s p=%d: %v", ctx, par, err)
+					}
+					assertSameColumn(t, "grouped sum "+ctx, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSumGroupedRejectsOutOfRange checks that an out-of-range group
+// id fails the parallel path just like the sequential one.
+func TestParallelSumGroupedRejectsOutOfRange(t *testing.T) {
+	gidVals := make([]uint64, parTestN)
+	gidVals[parTestN-1] = 99 // beyond nGroups below
+	gids := columns.FromValues(gidVals)
+	vals := columns.FromValues(parTestValues(parTestN))
+	for _, par := range parLevels {
+		if _, err := ParSumGrouped(gids, vals, 10, vector.Scalar, par); err == nil {
+			t.Fatalf("p=%d: out-of-range group id must fail", par)
 		}
 	}
 }

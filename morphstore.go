@@ -185,6 +185,31 @@ func ParSum(in *Column, style Style, par int) (uint64, error) {
 	return s, err
 }
 
+// JoinN1 equi-joins a probe-side key column against a build-side key column
+// with unique values, returning the matching probe positions and, aligned
+// with them, the joined build positions.
+func JoinN1(probe, build *Column, outProbe, outBuild FormatDesc, style Style) (probePos, buildPos *Column, err error) {
+	return ops.JoinN1(probe, build, outProbe, outBuild, style)
+}
+
+// ParJoinN1 is the morsel-parallel form of JoinN1: the build-side hash table
+// is built once and probed from par workers; both position outputs are
+// byte-identical to JoinN1 at every par.
+func ParJoinN1(probe, build *Column, outProbe, outBuild FormatDesc, style Style, par int) (probePos, buildPos *Column, err error) {
+	return ops.ParJoinN1(probe, build, outProbe, outBuild, style, par)
+}
+
+// SumGrouped sums vals per group id, for group ids in [0, nGroups).
+func SumGrouped(gids, vals *Column, nGroups int, style Style) (*Column, error) {
+	return ops.SumGrouped(gids, vals, nGroups, style)
+}
+
+// ParSumGrouped is the morsel-parallel form of SumGrouped: workers merge
+// per-partition partial group-sum arrays.
+func ParSumGrouped(gids, vals *Column, nGroups int, style Style, par int) (*Column, error) {
+	return ops.ParSumGrouped(gids, vals, nGroups, style, par)
+}
+
 // Intersect intersects two sorted position lists.
 func Intersect(a, b *Column, out FormatDesc) (*Column, error) {
 	return ops.IntersectSorted(a, b, out)
@@ -198,6 +223,12 @@ func Union(a, b *Column, out FormatDesc) (*Column, error) {
 // Calc combines two equal-length columns element-wise.
 func Calc(op CalcKind, a, b *Column, out FormatDesc, style Style) (*Column, error) {
 	return ops.CalcBinary(op, a, b, out, style)
+}
+
+// ParCalc is the morsel-parallel form of Calc: both inputs are split at
+// shared block-aligned boundaries and combined in lockstep by par workers.
+func ParCalc(op CalcKind, a, b *Column, out FormatDesc, style Style, par int) (*Column, error) {
+	return ops.ParCalcBinary(op, a, b, out, style, par)
 }
 
 // Profile holds the data characteristics driving format selection.

@@ -217,6 +217,45 @@ func TestFacadeParallelOps(t *testing.T) {
 	if ws != gs {
 		t.Fatalf("ParSum = %d, want %d", gs, ws)
 	}
+
+	build := FromValues([]uint64{3, 50, 200, 600})
+	wp, wb, err := JoinN1(col, build, Uncompressed, Uncompressed, Vec512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, gb, err := ParJoinN1(col, build, Uncompressed, Uncompressed, Vec512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wp.String() != gp.String() || wb.String() != gb.String() {
+		t.Fatal("ParJoinN1 outputs diverge from JoinN1")
+	}
+	wc, err := Calc(CalcAdd, col, col, DynBP, Vec512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, err := ParCalc(CalcAdd, col, col, DynBP, Vec512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.String() != gc.String() {
+		t.Fatalf("ParCalc: %v, want %v", gc, wc)
+	}
+	gids := make([]uint64, len(vals))
+	for i := range gids {
+		gids[i] = uint64(i % 5)
+	}
+	wg, err := SumGrouped(FromValues(gids), col, 5, Vec512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := ParSumGrouped(FromValues(gids), col, 5, Vec512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wg.String() != gg.String() {
+		t.Fatalf("ParSumGrouped: %v, want %v", gg, wg)
+	}
 }
 
 // TestFacadeFormats sanity-checks the format constructors.
