@@ -26,6 +26,7 @@ const (
 	gateThroughput                  // higher is better, machine-dependent (GB/s)
 	gateRate                        // lower is better, machine-independent (compressed/uncompressed)
 	gateInfo                        // reported and included in the speed scale, but never failed
+	gateRatio                       // higher is better, machine-independent speedup ratio
 )
 
 func classifyMetric(section, metric string) gatedKind {
@@ -36,14 +37,36 @@ func classifyMetric(section, metric string) gatedKind {
 		// even at min-of-10 repeats, so they inform the speed scale but
 		// cannot carry a hard gate.
 		return gateInfo
+	case metric == "concat_gbps":
+		// The block-granular concat finishes in tens of microseconds (it is
+		// a handful of memcpys), so its timing is dominated by allocator
+		// and page-placement noise like compress_gbps: informational only.
+		return gateInfo
 	case metric == "gbps" || strings.HasSuffix(metric, "_gbps"):
 		return gateThroughput
 	case metric == "rate":
 		return gateRate
+	case metric == "serial_over_concat":
+		// The compressed stitch's serial-cost reduction: machine-invariant
+		// (a ratio of two same-machine timings), gated so a change that
+		// reintroduces per-block work in the concat — collapsing the
+		// hundreds-fold ratio towards 1x — fails loudly. Its denominator is
+		// the same microsecond-scale concat timing that makes concat_gbps
+		// informational, so the gate uses the wide ratioFloorFrac budget
+		// instead of the standard tolerance.
+		return gateRatio
 	default:
 		return gateSkip
 	}
 }
+
+// ratioFloorFrac is the gateRatio failure floor: a run's speedup ratio below
+// this fraction of the baseline's fails. It is deliberately loose — the
+// denominator (block-granular concat) is a tens-of-microseconds timing whose
+// process-to-process noise can halve the ratio spuriously — because a real
+// regression (per-block or per-element work back in the concat path)
+// collapses the hundreds-fold ratio by well over an order of magnitude.
+const ratioFloorFrac = 0.2
 
 func recordKey(r Record) string { return r.Section + "/" + r.Name + "/" + r.Metric }
 
@@ -124,6 +147,14 @@ func compareReports(base, run *Report, tolerance float64) (lines, failures []str
 					key, rr.Value, br.Value))
 			}
 			lines = append(lines, fmt.Sprintf("  %-55s %8.4f -> %8.4f  %s", key, br.Value, rr.Value, status))
+		case gateRatio:
+			status := "ok"
+			if br.Value > 0 && rr.Value < br.Value*ratioFloorFrac {
+				status = "REGRESSION"
+				failures = append(failures, fmt.Sprintf("%s: speedup ratio %.1fx vs baseline %.1fx",
+					key, rr.Value, br.Value))
+			}
+			lines = append(lines, fmt.Sprintf("  %-55s %7.1fx -> %7.1fx  %s", key, br.Value, rr.Value, status))
 		}
 	}
 	for _, rr := range run.Records {

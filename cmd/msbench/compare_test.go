@@ -98,6 +98,32 @@ func TestCompareCompressNotGated(t *testing.T) {
 	}
 }
 
+// TestCompareRatioGate checks the serial_over_concat speedup gate: a noisy
+// halving of the ratio passes (the concat denominator is a microsecond-scale
+// timing), while a collapse towards 1x — per-block work back in the concat
+// path — fails, and the standard tolerance plays no role in either verdict.
+func TestCompareRatioGate(t *testing.T) {
+	base := syntheticReport(8, 10)
+	base.Records = append(base.Records,
+		Record{Section: "stitch", Name: "select_pos/delta+bp", Metric: "serial_over_concat", Value: 200})
+
+	noisy := cloneReport(base)
+	noisy.Records[len(noisy.Records)-1].Value = 100 // 2x down: timing noise
+	if _, failures := compareReports(base, noisy, 0.25); len(failures) != 0 {
+		t.Fatalf("halved ratio must pass the loose ratio gate: %v", failures)
+	}
+
+	collapsed := cloneReport(base)
+	collapsed.Records[len(collapsed.Records)-1].Value = 3 // serial work is back
+	_, failures := compareReports(base, collapsed, 0.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "serial_over_concat") {
+		t.Fatalf("collapsed ratio not flagged: %v", failures)
+	}
+	if _, failures := compareReports(base, collapsed, 100); len(failures) != 1 {
+		t.Fatalf("ratio gate must not depend on the throughput tolerance: %v", failures)
+	}
+}
+
 func TestCompareRateRegressionFails(t *testing.T) {
 	base := syntheticReport(8, 10)
 	run := cloneReport(base)

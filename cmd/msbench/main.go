@@ -349,6 +349,104 @@ func run(b *bench, n int, seed int64, repeats, par int) error {
 		b.record("parallel", fmt.Sprintf("calc_par%d", p), "gbps", gbps(n, tcalc))
 		b.record("parallel", fmt.Sprintf("sum_grouped_par%d", p), "gbps", gbps(n, tgsum))
 	}
+
+	// Compressed stitch: the cost of materializing a high-selectivity
+	// operator output stream as a compressed column. "serial" is the old
+	// single-writer recompression (the pre-stitch Amdahl tail), "concat" is
+	// the new serial portion only — block-granular concatenation of
+	// pre-compressed sections — and "par" is the full parallel stitch
+	// (sectioned recompression by par workers plus the concat). The
+	// serial_over_concat ratio is machine-speed invariant and is the
+	// serial-stitch-cost reduction delivered by the compressed stitch.
+	b.printf("\n-- compressed stitch (high-selectivity output streams, %d-way sections) --\n", stitchSections)
+	posStream := make([]uint64, 0, n/2)
+	for i := 0; i < n; i += 2 { // ~50% selectivity select positions
+		posStream = append(posStream, uint64(i))
+	}
+	if err := stitchBench(b, repeats, par, "select_pos/delta+bp", posStream, columns.DeltaBPDesc); err != nil {
+		return err
+	}
+	if err := stitchBench(b, repeats, par, "project_vals/dyn_bp", datagen.Generate(datagen.C1, n, seed+2), columns.DynBPDesc); err != nil {
+		return err
+	}
+	return nil
+}
+
+// stitchSections is the fixed section count of the stitch microbenchmark's
+// concat-only measurement, so the recorded concat cost does not depend on
+// the -par flag.
+const stitchSections = 8
+
+// stitchBench measures the three stitch costs for one output stream shape
+// and target format and records them under the "stitch" section.
+func stitchBench(b *bench, repeats, par int, name string, stream []uint64, desc columns.FormatDesc) error {
+	total := len(stream)
+	// Ragged chunks emulate per-morsel kernel outputs under selectivity skew.
+	chunks := make([][]uint64, 0, stitchSections)
+	for i, off := 0, 0; i < stitchSections; i++ {
+		end := (total * (i + 1)) / stitchSections
+		end -= (i * 53) % 97 // ragged, non-block-aligned cut
+		if end < off {
+			end = off
+		}
+		if i == stitchSections-1 {
+			end = total
+		}
+		chunks = append(chunks, stream[off:end])
+		off = end
+	}
+	tSerial, err := minTime(repeats, func() error {
+		_, err := ops.StitchCompressed(desc, total, chunks, 1)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	ranges := formats.SplitRange(total, stitchSections, formats.ConcatAlign(desc.Kind))
+	if ranges == nil {
+		// Streams this small never take the sectioned stitch path; skip the
+		// section instead of failing the whole run (tiny -n values).
+		b.printf("%-22s skipped: stream of %d elements is below the sectioning threshold\n", name, total)
+		return nil
+	}
+	parts := make([]*columns.Column, len(ranges))
+	for i, pt := range ranges {
+		var prev uint64
+		if pt.Start > 0 {
+			prev = stream[pt.Start-1]
+		}
+		w, err := formats.NewSectionWriter(desc, pt.Count, prev, pt.Start > 0)
+		if err != nil {
+			return err
+		}
+		if err := w.Write(stream[pt.Start : pt.Start+pt.Count]); err != nil {
+			return err
+		}
+		if parts[i], err = w.Close(); err != nil {
+			return err
+		}
+	}
+	tConcat, err := minTime(repeats, func() error {
+		_, err := formats.ConcatCompressed(desc, parts)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	tPar, err := minTime(repeats, func() error {
+		_, err := ops.StitchCompressed(desc, total, chunks, par)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	speedup := tSerial.Seconds() / tConcat.Seconds()
+	b.printf("%-22s serial: %8.2f GB/s   concat-only: %8.2f GB/s   par=%d: %8.2f GB/s   serial/concat: %5.1fx\n",
+		name, gbps(total, tSerial), gbps(total, tConcat), par, gbps(total, tPar), speedup)
+	b.record("stitch", name, "serial_gbps", gbps(total, tSerial))
+	b.record("stitch", name, "concat_gbps", gbps(total, tConcat))
+	b.record("stitch", name, "par_gbps", gbps(total, tPar))
+	b.record("stitch", name, "serial_over_concat", speedup)
 	return nil
 }
 

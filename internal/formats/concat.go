@@ -1,0 +1,450 @@
+package formats
+
+import (
+	"fmt"
+
+	"morphstore/internal/bitutil"
+	"morphstore/internal/columns"
+)
+
+// This file implements the output half of MorphStore-Go's compressed
+// stitching: concatenating several compressed columns of one format into a
+// single column that is byte-identical to compressing the concatenated
+// element streams monolithically. Together with NewSectionWriter (a Writer
+// primed with its stream context) it lets the morsel-parallel operator
+// drivers compress block-aligned sections of their output stream on worker
+// goroutines and then stitch the partial columns by block-granular copies
+// instead of re-encoding the whole output through one sequential writer.
+//
+// All block-structured formats concatenate by whole-block copies as long as
+// every seam falls on a block boundary of the logical stream; the remaining
+// fixups are format-specific:
+//
+//	Uncompressed  plain word copy, any seam.
+//	StaticBP      packed bit-stream append; word-copy at 64-element seams,
+//	              shift-merge otherwise, width-repack when parts disagree.
+//	DynBP         whole blocks copied verbatim (headers untouched); a
+//	              misaligned seam re-blocks the following part.
+//	DeltaBP       whole blocks copied; the first block of each part is
+//	              rebased onto the preceding stream element when its stored
+//	              base disagrees (parts compressed independently start at
+//	              base 0); a misaligned seam re-blocks the following part.
+//	ForBP         whole blocks copied (references are per-block minima and
+//	              self-contained); a misaligned seam re-blocks.
+//	RLE           run lists appended with an adjacent-run merge at each seam,
+//	              which restores the canonical maximal-run encoding.
+
+// ConcatAlign returns the element alignment at which a seam between two
+// concatenated parts of this format is a pure block copy (no re-encoding),
+// or 0 if the format does not support compressed concatenation. RLE
+// concatenates at any seam (runs merge, they never re-encode), so its
+// alignment is 1 like the uncompressed format's.
+func ConcatAlign(kind columns.Kind) int {
+	switch kind {
+	case columns.Uncompressed, columns.RLE:
+		return 1
+	case columns.StaticBP:
+		return 64
+	case columns.DynBP, columns.DeltaBP, columns.ForBP:
+		return BlockLen
+	default:
+		return 0
+	}
+}
+
+// CanConcat reports whether ConcatCompressed supports the format natively
+// (without the decompress-and-recompress fallback).
+func CanConcat(kind columns.Kind) bool { return ConcatAlign(kind) > 0 }
+
+// prevSeeder is implemented by writers whose encoding depends on the element
+// preceding the written stream (delta coding).
+type prevSeeder interface{ seedPrev(prev uint64) }
+
+// NewSectionWriter returns a Writer producing a compressed column for one
+// section of a larger logical stream: prev is the element at the position
+// just before the section (hasPrev is false for the stream head). Formats
+// whose encoding is position-independent ignore it; DeltaBP seeds its block
+// base with it, so a section starting on a block boundary compresses to the
+// very bytes the monolithic writer would produce for that range.
+func NewSectionWriter(desc columns.FormatDesc, sizeHint int, prev uint64, hasPrev bool) (Writer, error) {
+	w, err := NewWriter(desc, sizeHint)
+	if err != nil {
+		return nil, err
+	}
+	if hasPrev {
+		if s, ok := w.(prevSeeder); ok {
+			s.seedPrev(prev)
+		}
+	}
+	return w, nil
+}
+
+// ConcatCompressed concatenates parts — all columns in desc's format — into
+// one column holding their element streams back to back, byte-identical to
+// compressing the whole concatenated stream monolithically with desc. Whole
+// compressed blocks are copied; only seams that do not fall on a block
+// boundary force the following part through a re-encoding path, and the
+// format-specific head fixups (DeltaBP rebase, RLE run merge) touch O(1)
+// blocks or runs per seam.
+//
+// For an auto-width static BP request (desc.Bits == 0) the target width is
+// the maximum of the parts' widths, which equals the monolithic derived
+// width whenever every part was itself compressed at its tight (derived)
+// width.
+func ConcatCompressed(desc columns.FormatDesc, parts []*columns.Column) (*columns.Column, error) {
+	for _, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("formats: concat: nil part")
+		}
+		if p.Desc().Kind != desc.Kind {
+			return nil, fmt.Errorf("formats: concat: part is %v, want %v", p.Desc(), desc)
+		}
+	}
+	switch desc.Kind {
+	case columns.Uncompressed:
+		return concatUncompr(parts)
+	case columns.StaticBP:
+		return concatStaticBP(desc, parts)
+	case columns.DynBP:
+		return concatDynBP(parts)
+	case columns.DeltaBP:
+		return concatDeltaBP(parts)
+	case columns.ForBP:
+		return concatForBP(parts)
+	case columns.RLE:
+		return concatRLE(parts)
+	default:
+		return concatGeneric(desc, parts)
+	}
+}
+
+// concatGeneric is the correctness fallback for formats without a native
+// concatenation: decompress everything and recompress monolithically.
+func concatGeneric(desc columns.FormatDesc, parts []*columns.Column) (*columns.Column, error) {
+	total := 0
+	for _, p := range parts {
+		total += p.N()
+	}
+	vals := make([]uint64, 0, total)
+	for _, p := range parts {
+		v, err := Decompress(p)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v...)
+	}
+	return Compress(vals, desc)
+}
+
+func concatUncompr(parts []*columns.Column) (*columns.Column, error) {
+	total := 0
+	for _, p := range parts {
+		total += p.N()
+	}
+	words := make([]uint64, 0, total)
+	for _, p := range parts {
+		words = append(words, p.Words()...)
+	}
+	return columns.FromValues(words), nil
+}
+
+// appendPackedBits ORs the first nbits bits of the packed source stream into
+// dst starting at bit position bitPos. dst must be zero beyond bitPos and the
+// source padding bits beyond nbits must be zero (both hold for freshly packed
+// buffers), so a word-aligned bitPos degrades to a plain copy and a
+// misaligned one to a two-target shift-merge per word.
+func appendPackedBits(dst []uint64, bitPos uint64, src []uint64, nbits uint64) {
+	if nbits == 0 {
+		return
+	}
+	srcWords := int((nbits + 63) / 64)
+	w := int(bitPos >> 6)
+	off := uint(bitPos & 63)
+	if off == 0 {
+		copy(dst[w:], src[:srcWords])
+		return
+	}
+	endWord := int((bitPos + nbits - 1) >> 6)
+	for i := 0; i < srcWords; i++ {
+		v := src[i]
+		dst[w+i] |= v << off
+		if w+i+1 <= endWord {
+			dst[w+i+1] |= v >> (64 - off)
+		}
+	}
+}
+
+func concatStaticBP(desc columns.FormatDesc, parts []*columns.Column) (*columns.Column, error) {
+	bits := uint(desc.Bits)
+	total := 0
+	for _, p := range parts {
+		total += p.N()
+		pb := uint(p.Desc().Bits)
+		if desc.Bits == 0 {
+			// Auto width: the widest part decides (tight part widths make
+			// this the monolithic derived width).
+			bits = max(bits, pb)
+		} else if pb > bits {
+			return nil, fmt.Errorf("formats: concat: static BP width %d cannot hold %d-bit part", bits, pb)
+		}
+	}
+	if bits == 0 { // every element of every part is zero
+		return columns.New(columns.FormatDesc{Kind: columns.StaticBP}, total, total, 0, nil)
+	}
+	words := make([]uint64, bitutil.PackedWords(total, bits))
+	var vbuf, tmp []uint64 // width-repack scratch, allocated on demand
+	bitPos := uint64(0)
+	for _, p := range parts {
+		n := p.N()
+		if n == 0 {
+			continue
+		}
+		pb := uint(p.Desc().Bits)
+		switch {
+		case pb == 0:
+			// All-zero part: the target bits are already zero.
+		case pb == bits:
+			appendPackedBits(words, bitPos, p.MainWords(), uint64(n)*uint64(bits))
+		default:
+			// Width mismatch: unpack and repack chunk-wise at the target
+			// width. Chunks are multiples of 64 elements, so both the source
+			// read and the scratch pack stay word-aligned.
+			const repackChunk = 4 * 1024
+			if vbuf == nil {
+				vbuf = make([]uint64, repackChunk)
+				tmp = make([]uint64, bitutil.PackedWords(repackChunk, 64))
+			}
+			pw := p.MainWords()
+			for off := 0; off < n; off += repackChunk {
+				k := min(repackChunk, n-off)
+				bitutil.Unpack(vbuf[:k], pw[off*int(pb)/64:], pb)
+				tw := bitutil.PackedWords(k, bits)
+				clear(tmp[:tw])
+				bitutil.Pack(tmp[:tw], vbuf[:k], bits)
+				appendPackedBits(words, bitPos+uint64(off)*uint64(bits), tmp[:tw], uint64(k)*uint64(bits))
+			}
+		}
+		bitPos += uint64(n) * uint64(bits)
+	}
+	return columns.New(columns.FormatDesc{Kind: columns.StaticBP, Bits: uint8(bits)},
+		total, total, len(words), words)
+}
+
+// reblock appends vals to pending, emitting every filled BlockLen-element
+// block through emit; it returns the remaining pending tail.
+func reblock(pending, vals []uint64, emit func(blk []uint64)) []uint64 {
+	for len(vals) > 0 {
+		if len(pending) == 0 {
+			for len(vals) >= BlockLen {
+				emit(vals[:BlockLen])
+				vals = vals[BlockLen:]
+			}
+			if len(vals) == 0 {
+				break
+			}
+		}
+		c := min(BlockLen-len(pending), len(vals))
+		pending = append(pending, vals[:c]...)
+		vals = vals[c:]
+		if len(pending) == BlockLen {
+			emit(pending)
+			pending = pending[:0]
+		}
+	}
+	return pending
+}
+
+// drainReader feeds every element of r through reblock.
+func drainReader(r Reader, buf, pending []uint64, emit func(blk []uint64)) ([]uint64, error) {
+	for {
+		k, err := r.Read(buf)
+		if err != nil {
+			return pending, err
+		}
+		if k == 0 {
+			return pending, nil
+		}
+		pending = reblock(pending, buf[:k], emit)
+	}
+}
+
+func concatDynBP(parts []*columns.Column) (*columns.Column, error) {
+	total, capWords := 0, 0
+	for _, p := range parts {
+		total += p.N()
+		capWords += len(p.Words())
+	}
+	words := make([]uint64, 0, capWords)
+	pending := make([]uint64, 0, BlockLen)
+	var buf []uint64 // decode scratch, misaligned-seam path only
+	emit := func(blk []uint64) { words = appendDynBPBlock(words, blk) }
+	for _, p := range parts {
+		if p.N() == 0 {
+			continue
+		}
+		if len(pending) == 0 {
+			// Block-aligned seam: every whole block passes through verbatim,
+			// headers untouched.
+			words = append(words, p.MainWords()...)
+			pending = reblock(pending, p.Remainder(), emit)
+			continue
+		}
+		// Misaligned seam: the carried tail shifts every block boundary of
+		// this part, so its elements re-block through the decoder.
+		if buf == nil {
+			buf = make([]uint64, BufferLen)
+		}
+		var err error
+		pending, err = drainReader(dynBPCodec{}.NewReader(p), buf, pending, emit)
+		if err != nil {
+			return nil, err
+		}
+	}
+	mainWords := len(words)
+	words = append(words, pending...)
+	return columns.New(columns.DynBPDesc, total, total-len(pending), mainWords, words)
+}
+
+func concatForBP(parts []*columns.Column) (*columns.Column, error) {
+	total, capWords := 0, 0
+	for _, p := range parts {
+		total += p.N()
+		capWords += len(p.Words())
+	}
+	words := make([]uint64, 0, capWords)
+	pending := make([]uint64, 0, BlockLen)
+	scratch := make([]uint64, BlockLen)
+	var buf []uint64
+	emit := func(blk []uint64) { words = appendForBPBlock(words, blk, scratch) }
+	for _, p := range parts {
+		if p.N() == 0 {
+			continue
+		}
+		if len(pending) == 0 {
+			// FOR references are per-block minima, so aligned blocks carry
+			// over without any rebase.
+			words = append(words, p.MainWords()...)
+			pending = reblock(pending, p.Remainder(), emit)
+			continue
+		}
+		if buf == nil {
+			buf = make([]uint64, BufferLen)
+		}
+		var err error
+		pending, err = drainReader(forBPCodec{}.NewReader(p), buf, pending, emit)
+		if err != nil {
+			return nil, err
+		}
+	}
+	mainWords := len(words)
+	words = append(words, pending...)
+	return columns.New(columns.ForBPDesc, total, total-len(pending), mainWords, words)
+}
+
+// lastBlockWordOffset walks the block headers of a compressed main part and
+// returns the word offset of the final block. mainElems must be positive.
+func lastBlockWordOffset(pw []uint64, mainElems int, blockWords func([]uint64, int) (int, error)) (int, error) {
+	w, last := 0, 0
+	for e := 0; e < mainElems; e += BlockLen {
+		last = w
+		bw, err := blockWords(pw, w)
+		if err != nil {
+			return 0, err
+		}
+		w += bw
+	}
+	return last, nil
+}
+
+func concatDeltaBP(parts []*columns.Column) (*columns.Column, error) {
+	total, capWords := 0, 0
+	for _, p := range parts {
+		total += p.N()
+		capWords += len(p.Words())
+	}
+	words := make([]uint64, 0, capWords)
+	pending := make([]uint64, 0, BlockLen)
+	scratch := make([]uint64, BlockLen)
+	blk := make([]uint64, BlockLen)
+	var buf []uint64
+	// prev is the stream element just before the first pending element (the
+	// base of the next block to be encoded), maintained across parts.
+	prev := uint64(0)
+	emit := func(b []uint64) {
+		words = appendDeltaBPBlock(words, b, prev, scratch)
+		prev = b[BlockLen-1]
+	}
+	for _, p := range parts {
+		if p.N() == 0 {
+			continue
+		}
+		if len(pending) == 0 && p.MainElems() > 0 {
+			pw := p.MainWords()
+			w := 0
+			if pw[0] != prev {
+				// The part was compressed against a different preceding
+				// element (independent parts start at base 0): rebase its
+				// first block; deeper blocks reference intra-part elements
+				// and pass through untouched.
+				var err error
+				w, err = decodeDeltaBPBlock(pw, 0, blk, scratch)
+				if err != nil {
+					return nil, err
+				}
+				words = appendDeltaBPBlock(words, blk[:BlockLen], prev, scratch)
+			}
+			words = append(words, pw[w:]...)
+			// The next block's base is the part's last main element.
+			lw, err := lastBlockWordOffset(pw, p.MainElems(), deltaForBPBlockWords)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := decodeDeltaBPBlock(pw, lw, blk, scratch); err != nil {
+				return nil, err
+			}
+			prev = blk[BlockLen-1]
+			pending = reblock(pending, p.Remainder(), emit)
+			continue
+		}
+		if len(pending) == 0 {
+			// Remainder-only part at an aligned seam.
+			pending = reblock(pending, p.Remainder(), emit)
+			continue
+		}
+		if buf == nil {
+			buf = make([]uint64, BufferLen)
+		}
+		var err error
+		pending, err = drainReader(deltaBPCodec{}.NewReader(p), buf, pending, emit)
+		if err != nil {
+			return nil, err
+		}
+	}
+	mainWords := len(words)
+	words = append(words, pending...)
+	return columns.New(columns.DeltaBPDesc, total, total-len(pending), mainWords, words)
+}
+
+func concatRLE(parts []*columns.Column) (*columns.Column, error) {
+	total, capWords := 0, 0
+	for _, p := range parts {
+		total += p.N()
+		capWords += len(p.MainWords())
+	}
+	words := make([]uint64, 0, capWords)
+	for _, p := range parts {
+		pw := p.MainWords()
+		if len(pw)%2 != 0 {
+			return nil, fmt.Errorf("%w: RLE buffer has odd word count", ErrCorrupt)
+		}
+		// Seam fixup: a run continuing across the part boundary merges into
+		// the preceding run, restoring maximal (canonical) runs. One merge
+		// suffices — runs within a part already alternate values.
+		if len(words) >= 2 && len(pw) >= 2 && words[len(words)-2] == pw[0] {
+			words[len(words)-1] += pw[1]
+			pw = pw[2:]
+		}
+		words = append(words, pw...)
+	}
+	return columns.New(columns.RLEDesc, total, total, len(words), words)
+}

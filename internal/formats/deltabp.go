@@ -147,6 +147,12 @@ type deltaBPWriter struct {
 	closed  bool
 }
 
+// seedPrev primes the writer as if prev had been the last element written:
+// the first block's delta base becomes prev instead of 0, which is what lets
+// a section writer over a block-aligned suffix of a larger stream produce
+// bytes identical to the monolithic writer's (see NewSectionWriter).
+func (w *deltaBPWriter) seedPrev(prev uint64) { w.base = prev }
+
 func (w *deltaBPWriter) Write(vals []uint64) error {
 	w.n += len(vals)
 	if len(w.pending) == 0 {

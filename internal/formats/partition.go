@@ -88,6 +88,44 @@ func SplitColumnsAligned(a, b *columns.Column, p int) []Partition {
 	return splitAligned(a.N(), p, align)
 }
 
+// morselsPerWorker is the work-queue over-decomposition factor: the morsel
+// splits cut a column into up to this many partitions per requested worker,
+// so workers claiming morsels dynamically (in chunk-index order) rebalance
+// when selectivity skew makes some morsels much cheaper than others, while
+// the stitch overhead stays bounded by a small constant per worker.
+const morselsPerWorker = 8
+
+// SplitColumnMorsels splits col into work-queue morsels: up to
+// morselsPerWorker*p contiguous partitions whose boundaries respect
+// PartitionAlign, each at least MinMorsel elements except the tail. Like
+// SplitColumn it returns nil when the column cannot or need not be split;
+// unlike SplitColumn the partition count intentionally exceeds the worker
+// count so a dynamic work queue can rebalance skewed morsel costs.
+func SplitColumnMorsels(col *columns.Column, p int) []Partition {
+	if p <= 1 {
+		return nil
+	}
+	return SplitColumn(col, p*morselsPerWorker)
+}
+
+// SplitColumnsAlignedMorsels is the dual-input form of SplitColumnMorsels:
+// one shared set of work-queue morsel boundaries respecting both formats'
+// partition alignments (see SplitColumnsAligned).
+func SplitColumnsAlignedMorsels(a, b *columns.Column, p int) []Partition {
+	if p <= 1 {
+		return nil
+	}
+	return SplitColumnsAligned(a, b, p*morselsPerWorker)
+}
+
+// SplitRange cuts the element range [0, n) into at most p contiguous
+// partitions on boundaries that are multiples of align, each at least
+// MinMorsel elements except the tail; nil when the range is too small to
+// split or p <= 1. It is the partitioning primitive behind SplitColumn,
+// exported for callers partitioning a logical stream that is not (yet) a
+// column — notably the parallel compressed stitch over operator output.
+func SplitRange(n, p, align int) []Partition { return splitAligned(n, p, align) }
+
 // splitAligned cuts the element range [0, n) into at most p contiguous
 // partitions on boundaries that are multiples of align, each at least
 // MinMorsel elements except the tail.

@@ -95,10 +95,3 @@ func sumGroupedChunk(sums, gs, vs []uint64, nGroups int) error {
 	}
 	return nil
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

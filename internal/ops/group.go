@@ -186,10 +186,3 @@ func readFull(r formats.Reader, dst []uint64) (int, error) {
 	}
 	return n, nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -3,6 +3,7 @@ package ops
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"morphstore/internal/bitutil"
 	"morphstore/internal/columns"
@@ -11,30 +12,47 @@ import (
 )
 
 // This file implements morsel-parallel drivers around the streaming operator
-// kernels: the input column is split into contiguous, block-aligned
-// partitions (formats.SplitColumn), the existing format-oblivious kernels run
-// per partition on worker goroutines, and the per-partition outputs are
-// stitched back together in partition order through a single output writer.
+// kernels: the input column is split into contiguous, block-aligned morsels
+// (formats.SplitColumnMorsels), worker goroutines claim morsels dynamically
+// from an atomic chunk-index work queue (so skewed selectivity cannot strand
+// a worker on one expensive morsel while others idle), the existing
+// format-oblivious kernels run per morsel, and the per-morsel outputs are
+// stitched back together in morsel order through the parallel compressed
+// stitch (StitchCompressed): block-aligned sections of the output stream are
+// recompressed by the workers and concatenated block-granularly.
 //
-// Because partitions are contiguous and processed with their global element
+// Because morsels are contiguous and processed with their global element
 // offset as the position base, position lists stay globally sorted, and the
-// final writer consumes exactly the same element stream as the sequential
-// operator — so the stitched column is byte-identical to the sequential
-// result for every output format (all writers are deterministic functions of
-// their input stream). Columns whose format cannot be sliced (RLE), columns
-// too small to split, and par <= 1 all fall back to the sequential operator.
+// stitched column holds exactly the same element stream as the sequential
+// operator — StitchCompressed guarantees the bytes match the sequential
+// writer's, so the result is byte-identical to the sequential result for
+// every output format at every parallelism degree. Columns whose format
+// cannot be sliced (RLE), columns too small to split, and par <= 1 all fall
+// back to the sequential operator.
 
-// runParts executes fn for every partition on its own goroutine and returns
-// the first error. Workers communicate only through their own index slot.
-func runParts(parts []formats.Partition, fn func(i int, pt formats.Partition) error) error {
+// runParts executes fn for every partition, claimed in index order from an
+// atomic work-queue cursor by at most par worker goroutines. fn receives the
+// claiming worker's index (for reusing per-worker scratch: one worker index
+// is never active on two goroutines) and the partition's index (for
+// depositing results in deterministic partition order). The first error is
+// returned after all claimed work finishes.
+func runParts(par int, parts []formats.Partition, fn func(worker, i int, pt formats.Partition) error) error {
+	workers := workerCount(par, len(parts))
 	errs := make([]error, len(parts))
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i, pt := range parts {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, pt formats.Partition) {
+		go func(w int) {
 			defer wg.Done()
-			errs[i] = fn(i, pt)
-		}(i, pt)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(parts) {
+					return
+				}
+				errs[i] = fn(w, i, parts[i])
+			}
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -43,6 +61,15 @@ func runParts(parts []formats.Partition, fn func(i int, pt formats.Partition) er
 		}
 	}
 	return nil
+}
+
+// workerCount bounds the worker-goroutine count for a task list.
+func workerCount(par, tasks int) int {
+	w := min(par, tasks)
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // streamSection feeds the elements of one column partition through process in
@@ -104,57 +131,49 @@ func (s *appendSink) Close() (*columns.Column, error) {
 	return columns.FromValues(s.vals), nil
 }
 
-// stitch writes the per-partition outputs in partition order through one
-// writer, which therefore sees the same element stream as the sequential
-// operator and produces a byte-identical column.
-func stitch(desc columns.FormatDesc, sizeHint int, chunks [][]uint64) (*columns.Column, error) {
-	w, err := formats.NewWriter(desc, sizeHint)
-	if err != nil {
-		return nil, err
-	}
-	for _, c := range chunks {
-		if err := w.Write(c); err != nil {
-			return nil, err
-		}
-	}
-	return w.Close()
-}
-
 // ParSelect is the morsel-parallel form of Select, splitting the input into
-// at most par partitions. It falls back to the sequential operator when the
-// input cannot or need not be split.
+// work-queue morsels for up to par workers. It falls back to the sequential
+// operator when the input cannot or need not be split.
 func ParSelect(in *columns.Column, op bitutil.CmpKind, val uint64, out columns.FormatDesc, style vector.Style, par int) (*columns.Column, error) {
 	if err := checkCols(in); err != nil {
 		return nil, err
 	}
-	parts := formats.SplitColumn(in, par)
+	parts := formats.SplitColumnMorsels(in, par)
 	if parts == nil {
 		return Select(in, op, val, out, style)
 	}
-	return parSelect(in, parts, op, val, out, style)
+	return parSelect(in, parts, op, val, out, style, par)
 }
 
-// ParSelectAuto is the morsel-parallel form of SelectAuto: it parallelizes
-// with the generic kernels when the input splits, and otherwise dispatches
-// to the sequential auto operator (which may pick a specialized kernel).
+// ParSelectAuto is the morsel-parallel form of SelectAuto: when the input
+// splits, it parallelizes with the specialized per-partition kernel if one
+// covers the input (static BP SWAR select on packed word ranges) and the
+// generic morsel kernels otherwise; unsplittable inputs dispatch to the
+// sequential auto operator (which may itself pick a specialized kernel).
 func ParSelectAuto(in *columns.Column, op bitutil.CmpKind, val uint64, out columns.FormatDesc, style vector.Style, specialized bool, par int) (*columns.Column, error) {
 	if err := checkCols(in); err != nil {
 		return nil, err
 	}
-	parts := formats.SplitColumn(in, par)
+	parts := formats.SplitColumnMorsels(in, par)
 	if parts == nil {
 		return SelectAuto(in, op, val, out, style, specialized)
 	}
-	return parSelect(in, parts, op, val, out, style)
+	if specialized && parSwarOK(in, val) {
+		return parSelectSwar(in, parts, op, val, out, par)
+	}
+	return parSelect(in, parts, op, val, out, style, par)
 }
 
-func parSelect(in *columns.Column, parts []formats.Partition, op bitutil.CmpKind, val uint64, out columns.FormatDesc, style vector.Style) (*columns.Column, error) {
+func parSelect(in *columns.Column, parts []formats.Partition, op bitutil.CmpKind, val uint64, out columns.FormatDesc, style vector.Style, par int) (*columns.Column, error) {
 	results := make([][]uint64, len(parts))
-	err := runParts(parts, func(i int, pt formats.Partition) error {
-		stage := make([]uint64, blockBuf)
+	stages := make([][]uint64, workerCount(par, len(parts)))
+	err := runParts(par, parts, func(w, i int, pt formats.Partition) error {
+		if stages[w] == nil {
+			stages[w] = make([]uint64, blockBuf)
+		}
 		sink := &appendSink{vals: make([]uint64, 0, pt.Count/8+16)}
 		if err := streamSection(in, pt, func(vals []uint64, base uint64) error {
-			return selectOver(vals, base, op, val, style, stage, sink)
+			return selectOver(vals, base, op, val, style, stages[w], sink)
 		}); err != nil {
 			return err
 		}
@@ -164,7 +183,7 @@ func parSelect(in *columns.Column, parts []formats.Partition, op bitutil.CmpKind
 	if err != nil {
 		return nil, fmt.Errorf("ops: parallel select: %w", err)
 	}
-	return stitch(positionDesc(out, in.N()), in.N(), results)
+	return StitchCompressed(positionDesc(out, in.N()), in.N(), results, par)
 }
 
 // ParSelectBetween is the morsel-parallel form of SelectBetween.
@@ -172,32 +191,40 @@ func ParSelectBetween(in *columns.Column, lo, hi uint64, out columns.FormatDesc,
 	if err := checkCols(in); err != nil {
 		return nil, err
 	}
-	parts := formats.SplitColumn(in, par)
+	parts := formats.SplitColumnMorsels(in, par)
 	if parts == nil {
 		return SelectBetween(in, lo, hi, out, style)
 	}
-	return parSelectBetween(in, parts, lo, hi, out, style)
+	return parSelectBetween(in, parts, lo, hi, out, style, par)
 }
 
-// ParSelectBetweenAuto is the morsel-parallel form of SelectBetweenAuto.
+// ParSelectBetweenAuto is the morsel-parallel form of SelectBetweenAuto,
+// honouring the specialized SWAR range kernel inside each partition when the
+// input format admits it.
 func ParSelectBetweenAuto(in *columns.Column, lo, hi uint64, out columns.FormatDesc, style vector.Style, specialized bool, par int) (*columns.Column, error) {
 	if err := checkCols(in); err != nil {
 		return nil, err
 	}
-	parts := formats.SplitColumn(in, par)
+	parts := formats.SplitColumnMorsels(in, par)
 	if parts == nil {
 		return SelectBetweenAuto(in, lo, hi, out, style, specialized)
 	}
-	return parSelectBetween(in, parts, lo, hi, out, style)
+	if specialized && parSwarOK(in, lo) {
+		return parSelectBetweenSwar(in, parts, lo, hi, out, par)
+	}
+	return parSelectBetween(in, parts, lo, hi, out, style, par)
 }
 
-func parSelectBetween(in *columns.Column, parts []formats.Partition, lo, hi uint64, out columns.FormatDesc, style vector.Style) (*columns.Column, error) {
+func parSelectBetween(in *columns.Column, parts []formats.Partition, lo, hi uint64, out columns.FormatDesc, style vector.Style, par int) (*columns.Column, error) {
 	results := make([][]uint64, len(parts))
-	err := runParts(parts, func(i int, pt formats.Partition) error {
-		stage := make([]uint64, blockBuf)
+	stages := make([][]uint64, workerCount(par, len(parts)))
+	err := runParts(par, parts, func(w, i int, pt formats.Partition) error {
+		if stages[w] == nil {
+			stages[w] = make([]uint64, blockBuf)
+		}
 		sink := &appendSink{vals: make([]uint64, 0, pt.Count/8+16)}
 		if err := streamSection(in, pt, func(vals []uint64, base uint64) error {
-			return betweenOver(vals, base, lo, hi, style, stage, sink)
+			return betweenOver(vals, base, lo, hi, style, stages[w], sink)
 		}); err != nil {
 			return err
 		}
@@ -207,32 +234,34 @@ func parSelectBetween(in *columns.Column, parts []formats.Partition, lo, hi uint
 	if err != nil {
 		return nil, fmt.Errorf("ops: parallel select between: %w", err)
 	}
-	return stitch(positionDesc(out, in.N()), in.N(), results)
+	return StitchCompressed(positionDesc(out, in.N()), in.N(), results, par)
 }
 
 // ParProject is the morsel-parallel form of Project: the position list is
 // partitioned and every worker gathers into its own disjoint range of one
 // shared destination buffer (output offsets are known a priori because
-// project emits exactly one value per position).
+// project emits exactly one value per position), which the parallel
+// compressed stitch then recompresses section-wise.
 func ParProject(data, pos *columns.Column, out columns.FormatDesc, style vector.Style, par int) (*columns.Column, error) {
 	if err := checkCols(data, pos); err != nil {
 		return nil, err
 	}
-	parts := formats.SplitColumn(pos, par)
+	parts := formats.SplitColumnMorsels(pos, par)
 	if parts == nil {
 		return Project(data, pos, out, style)
 	}
 	dst := make([]uint64, pos.N())
 	vals, direct := data.Values()
 	useVecGather := direct && style == vector.Vec512
-	err := runParts(parts, func(_ int, pt formats.Partition) error {
-		// Each worker gets its own accessor: the static BP accessor caches
-		// the most recently decoded group and must not be shared. The vec
-		// gather fast path reads the value slice directly instead.
-		var ra formats.RandomAccessor
-		if !useVecGather {
+	// Each worker gets its own accessor, reused across the morsels it
+	// claims: the static BP accessor caches the most recently decoded group
+	// and must not be shared between goroutines. The vec gather fast path
+	// reads the value slice directly instead.
+	ras := make([]formats.RandomAccessor, workerCount(par, len(parts)))
+	err := runParts(par, parts, func(w, _ int, pt formats.Partition) error {
+		if !useVecGather && ras[w] == nil {
 			var err error
-			ra, err = formats.RandomAccess(data)
+			ras[w], err = formats.RandomAccess(data)
 			if err != nil {
 				return err
 			}
@@ -250,7 +279,7 @@ func ParProject(data, pos *columns.Column, out columns.FormatDesc, style vector.
 				if useVecGather {
 					gatherKernelVec(vals, chunk, dst[off:])
 				} else {
-					ra.Gather(dst[off:off+len(chunk)], chunk)
+					ras[w].Gather(dst[off:off+len(chunk)], chunk)
 				}
 				off += len(chunk)
 				ps = ps[len(chunk):]
@@ -261,7 +290,7 @@ func ParProject(data, pos *columns.Column, out columns.FormatDesc, style vector.
 	if err != nil {
 		return nil, fmt.Errorf("ops: parallel project: %w", err)
 	}
-	return stitch(out, pos.N(), [][]uint64{dst})
+	return StitchCompressed(out, pos.N(), [][]uint64{dst}, par)
 }
 
 // ParSemiJoin is the morsel-parallel form of SemiJoin: the build-side hash
@@ -271,7 +300,7 @@ func ParSemiJoin(probe, build *columns.Column, out columns.FormatDesc, style vec
 	if err := checkCols(probe, build); err != nil {
 		return nil, err
 	}
-	parts := formats.SplitColumn(probe, par)
+	parts := formats.SplitColumnMorsels(probe, par)
 	if parts == nil {
 		return SemiJoin(probe, build, out, style)
 	}
@@ -280,7 +309,7 @@ func ParSemiJoin(probe, build *columns.Column, out columns.FormatDesc, style vec
 		return nil, err
 	}
 	results := make([][]uint64, len(parts))
-	err = runParts(parts, func(i int, pt formats.Partition) error {
+	err = runParts(par, parts, func(_, i int, pt formats.Partition) error {
 		local := make([]uint64, 0, pt.Count/8+16)
 		if err := streamSection(probe, pt, func(vals []uint64, base uint64) error {
 			for j, v := range vals {
@@ -298,7 +327,7 @@ func ParSemiJoin(probe, build *columns.Column, out columns.FormatDesc, style vec
 	if err != nil {
 		return nil, fmt.Errorf("ops: parallel semijoin: %w", err)
 	}
-	return stitch(positionDesc(out, probe.N()), probe.N(), results)
+	return StitchCompressed(positionDesc(out, probe.N()), probe.N(), results, par)
 }
 
 // ParSum is the morsel-parallel form of SumWhole: per-partition partial sums
@@ -308,37 +337,50 @@ func ParSum(in *columns.Column, style vector.Style, par int) (uint64, *columns.C
 	if err := checkCols(in); err != nil {
 		return 0, nil, err
 	}
-	parts := formats.SplitColumn(in, par)
+	parts := formats.SplitColumnMorsels(in, par)
 	if parts == nil {
 		return SumWhole(in, style)
 	}
-	return parSum(in, parts, style)
+	return parSum(in, parts, style, par)
 }
 
-// ParSumAuto is the morsel-parallel form of SumAuto.
+// ParSumAuto is the morsel-parallel form of SumAuto: when the input splits
+// and specialized operators are enabled, each partition sums directly on the
+// compressed representation (SWAR over static BP word ranges, per-block
+// accumulation over DynBP block ranges); the generic morsel kernels handle
+// the rest.
 func ParSumAuto(in *columns.Column, style vector.Style, specialized bool, par int) (uint64, *columns.Column, error) {
 	if err := checkCols(in); err != nil {
 		return 0, nil, err
 	}
-	parts := formats.SplitColumn(in, par)
+	parts := formats.SplitColumnMorsels(in, par)
 	if parts == nil {
 		return SumAuto(in, style, specialized)
 	}
-	return parSum(in, parts, style)
+	if specialized {
+		switch in.Desc().Kind {
+		case columns.StaticBP:
+			if in.Desc().Bits > 0 {
+				return parSumStaticBPDirect(in, parts, par)
+			}
+		case columns.DynBP:
+			return parSumDynBPDirect(in, parts, par)
+		}
+	}
+	return parSum(in, parts, style, par)
 }
 
 // ParJoinN1 is the morsel-parallel form of JoinN1: the build-side hash table
 // (key -> build position) is constructed once and probed read-only by all
 // workers over partitions of the probe column. Each worker stages its two
 // aligned position outputs (probe position, joined build position) in local
-// buffers; both are stitched in partition order through one writer each, so
-// the dual outputs stay aligned row for row and byte-identical to the
-// sequential join.
+// buffers; both are stitched in partition order, so the dual outputs stay
+// aligned row for row and byte-identical to the sequential join.
 func ParJoinN1(probeKeys, buildKeys *columns.Column, outProbe, outBuild columns.FormatDesc, style vector.Style, par int) (probePos, buildPos *columns.Column, err error) {
 	if err := checkCols(probeKeys, buildKeys); err != nil {
 		return nil, nil, err
 	}
-	parts := formats.SplitColumn(probeKeys, par)
+	parts := formats.SplitColumnMorsels(probeKeys, par)
 	if parts == nil {
 		return JoinN1(probeKeys, buildKeys, outProbe, outBuild, style)
 	}
@@ -348,7 +390,7 @@ func ParJoinN1(probeKeys, buildKeys *columns.Column, outProbe, outBuild columns.
 	}
 	resP := make([][]uint64, len(parts))
 	resB := make([][]uint64, len(parts))
-	err = runParts(parts, func(i int, pt formats.Partition) error {
+	err = runParts(par, parts, func(_, i int, pt formats.Partition) error {
 		localP := make([]uint64, 0, pt.Count/8+16)
 		localB := make([]uint64, 0, pt.Count/8+16)
 		if err := streamSection(probeKeys, pt, func(vals []uint64, base uint64) error {
@@ -368,11 +410,11 @@ func ParJoinN1(probeKeys, buildKeys *columns.Column, outProbe, outBuild columns.
 	if err != nil {
 		return nil, nil, fmt.Errorf("ops: parallel join: %w", err)
 	}
-	probePos, err = stitch(positionDesc(outProbe, probeKeys.N()), probeKeys.N(), resP)
+	probePos, err = StitchCompressed(positionDesc(outProbe, probeKeys.N()), probeKeys.N(), resP, par)
 	if err != nil {
 		return nil, nil, err
 	}
-	buildPos, err = stitch(positionDesc(outBuild, buildKeys.N()), probeKeys.N(), resB)
+	buildPos, err = StitchCompressed(positionDesc(outBuild, buildKeys.N()), probeKeys.N(), resB, par)
 	return probePos, buildPos, err
 }
 
@@ -380,7 +422,7 @@ func ParJoinN1(probeKeys, buildKeys *columns.Column, outProbe, outBuild columns.
 // split at one set of shared block-aligned boundaries and streamed in
 // lockstep per partition. Calc emits exactly one value per element, so every
 // worker writes into its own disjoint range of one shared destination buffer,
-// which a single writer then recompresses.
+// which the parallel compressed stitch recompresses section-wise.
 func ParCalcBinary(op CalcKind, a, b *columns.Column, out columns.FormatDesc, style vector.Style, par int) (*columns.Column, error) {
 	if err := checkCols(a, b); err != nil {
 		return nil, err
@@ -388,12 +430,12 @@ func ParCalcBinary(op CalcKind, a, b *columns.Column, out columns.FormatDesc, st
 	if a.N() != b.N() {
 		return nil, fmt.Errorf("ops: calc: inputs have %d and %d elements", a.N(), b.N())
 	}
-	parts := formats.SplitColumnsAligned(a, b, par)
+	parts := formats.SplitColumnsAlignedMorsels(a, b, par)
 	if parts == nil {
 		return CalcBinary(op, a, b, out, style)
 	}
 	dst := make([]uint64, a.N())
-	err := runParts(parts, func(_ int, pt formats.Partition) error {
+	err := runParts(par, parts, func(_, _ int, pt formats.Partition) error {
 		return streamSections(a, b, pt, func(va, vb []uint64, base uint64) error {
 			if style == vector.Vec512 {
 				calcKernelVec(op, va, vb, dst[base:])
@@ -406,17 +448,18 @@ func ParCalcBinary(op CalcKind, a, b *columns.Column, out columns.FormatDesc, st
 	if err != nil {
 		return nil, fmt.Errorf("ops: parallel calc: %w", err)
 	}
-	return stitch(out, a.N(), [][]uint64{dst})
+	return StitchCompressed(out, a.N(), [][]uint64{dst}, par)
 }
 
 // ParSumGrouped is the morsel-parallel form of SumGrouped: group ids and
-// values are split at shared boundaries, every worker accumulates into its
-// own partial group-sum array of length nGroups, and one reducer merges the
-// partials in partition order. Per-group addition modulo 2^64 is commutative
-// and associative, so the merged sums equal the sequential ones exactly, and
-// the result column (always uncompressed) is byte-identical. Groupings with
-// more groups than elements per partition fall back to the sequential
-// operator (the per-worker arrays and the merge would dominate).
+// values are split at shared boundaries, every worker accumulates the
+// morsels it claims into its own partial group-sum array of length nGroups,
+// and one reducer merges the partials. Per-group addition modulo 2^64 is
+// commutative and associative, so the merged sums equal the sequential ones
+// exactly no matter which worker claimed which morsel, and the result column
+// (always uncompressed) is byte-identical. Groupings with more groups than
+// elements per worker fall back to the sequential operator (the per-worker
+// arrays and the merge would dominate).
 func ParSumGrouped(gids, vals *columns.Column, nGroups int, style vector.Style, par int) (*columns.Column, error) {
 	if err := checkCols(gids, vals); err != nil {
 		return nil, err
@@ -427,24 +470,23 @@ func ParSumGrouped(gids, vals *columns.Column, nGroups int, style vector.Style, 
 	if nGroups < 0 {
 		return nil, fmt.Errorf("ops: grouped sum: negative group count %d", nGroups)
 	}
-	parts := formats.SplitColumnsAligned(gids, vals, par)
+	parts := formats.SplitColumnsAlignedMorsels(gids, vals, par)
 	// Each worker zeroes and the reducer re-adds an nGroups-length array;
-	// when groups are numerous relative to a partition's elements that
-	// overhead outweighs the parallelized scan, so high-cardinality
+	// when groups are numerous relative to a worker's share of the elements
+	// that overhead outweighs the parallelized scan, so high-cardinality
 	// groupings run sequentially.
-	if parts == nil || nGroups > gids.N()/len(parts) {
+	workers := workerCount(par, len(parts))
+	if parts == nil || nGroups > gids.N()/workers {
 		return SumGrouped(gids, vals, nGroups, style)
 	}
-	partials := make([][]uint64, len(parts))
-	err := runParts(parts, func(i int, pt formats.Partition) error {
-		local := make([]uint64, nGroups)
-		if err := streamSections(gids, vals, pt, func(gs, vs []uint64, _ uint64) error {
-			return sumGroupedChunk(local, gs, vs, nGroups)
-		}); err != nil {
-			return err
+	partials := make([][]uint64, workers)
+	err := runParts(par, parts, func(w, _ int, pt formats.Partition) error {
+		if partials[w] == nil {
+			partials[w] = make([]uint64, nGroups)
 		}
-		partials[i] = local
-		return nil
+		return streamSections(gids, vals, pt, func(gs, vs []uint64, _ uint64) error {
+			return sumGroupedChunk(partials[w], gs, vs, nGroups)
+		})
 	})
 	if err != nil {
 		return nil, fmt.Errorf("ops: parallel grouped sum: %w", err)
@@ -458,9 +500,9 @@ func ParSumGrouped(gids, vals *columns.Column, nGroups int, style vector.Style, 
 	return columns.FromValues(sums), nil
 }
 
-func parSum(in *columns.Column, parts []formats.Partition, style vector.Style) (uint64, *columns.Column, error) {
+func parSum(in *columns.Column, parts []formats.Partition, style vector.Style, par int) (uint64, *columns.Column, error) {
 	partials := make([]uint64, len(parts))
-	err := runParts(parts, func(i int, pt formats.Partition) error {
+	err := runParts(par, parts, func(_, i int, pt formats.Partition) error {
 		var t uint64
 		if err := streamSection(in, pt, func(vals []uint64, _ uint64) error {
 			if style == vector.Vec512 {

@@ -1,0 +1,191 @@
+package ops
+
+import (
+	"fmt"
+	"math/bits"
+
+	"morphstore/internal/bitutil"
+	"morphstore/internal/columns"
+	"morphstore/internal/formats"
+)
+
+// This file wires the specialized direct operators (specialized.go) into the
+// morsel-parallel drivers: the static BP SWAR kernels partition naturally at
+// the 64-value packing-group granularity (any SWAR width divides 64, so a
+// partition boundary is always a packed-word boundary), and the per-block
+// DynBP sum partitions at block granularity. Each worker runs the direct
+// kernel over the packed words of its own partition — no decompression —
+// and the outputs merge exactly like the generic drivers': position lists
+// stitch in partition order, partial sums add modulo 2^64.
+
+// parSwarOK reports whether the per-partition SWAR select kernels cover the
+// input column and predicate constant: a static BP column with a preset
+// word-parallel width whose constant fits the packed fields. The degenerate
+// cases the sequential direct operator rewrites (width 0, constant beyond
+// the field range) produce the same position stream as the generic kernels,
+// so the parallel dispatcher routes them to the generic morsel path instead.
+func parSwarOK(in *columns.Column, val uint64) bool {
+	b := uint(in.Desc().Bits)
+	return in.Desc().Kind == columns.StaticBP && b > 0 &&
+		bitutil.SwarWidthOK(b) && val <= bitutil.Mask(b)
+}
+
+// parSelectSwar evaluates the comparison predicate directly on the packed
+// words of each partition of a static BP column (SelectStaticBPDirect per
+// morsel) and stitches the per-partition position lists.
+func parSelectSwar(in *columns.Column, parts []formats.Partition, op bitutil.CmpKind, val uint64, out columns.FormatDesc, par int) (*columns.Column, error) {
+	b := uint(in.Desc().Bits)
+	yb := bitutil.Broadcast(val, b)
+	results := make([][]uint64, len(parts))
+	err := runParts(par, parts, func(_, i int, pt formats.Partition) error {
+		results[i] = swarSelectSection(in, pt, func(word uint64) uint64 {
+			return bitutil.CmpPackedWord(word, yb, b, op)
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ops: parallel swar select: %w", err)
+	}
+	return StitchCompressed(positionDesc(out, in.N()), in.N(), results, par)
+}
+
+// parSelectBetweenSwar is the range form of parSelectSwar, combining two
+// SWAR comparison masks per packed word.
+func parSelectBetweenSwar(in *columns.Column, parts []formats.Partition, lo, hi uint64, out columns.FormatDesc, par int) (*columns.Column, error) {
+	b := uint(in.Desc().Bits)
+	// Values above the packable range can never match a width-b field.
+	if hi > bitutil.Mask(b) {
+		hi = bitutil.Mask(b)
+	}
+	ylo := bitutil.Broadcast(lo, b)
+	yhi := bitutil.Broadcast(hi, b)
+	results := make([][]uint64, len(parts))
+	err := runParts(par, parts, func(_, i int, pt formats.Partition) error {
+		results[i] = swarSelectSection(in, pt, func(word uint64) uint64 {
+			return bitutil.CmpPackedWord(word, ylo, b, bitutil.CmpGe) &
+				bitutil.CmpPackedWord(word, yhi, b, bitutil.CmpLe)
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ops: parallel swar select between: %w", err)
+	}
+	return StitchCompressed(positionDesc(out, in.N()), in.N(), results, par)
+}
+
+// swarSelectSection collects the positions whose field matches mask over the
+// packed words covering one partition. Partition starts are multiples of 64
+// elements, so they always coincide with a packed-word boundary.
+func swarSelectSection(in *columns.Column, pt formats.Partition, mask func(word uint64) uint64) []uint64 {
+	b := uint(in.Desc().Bits)
+	per := int(64 / b)
+	words := in.MainWords()
+	end := pt.Start + pt.Count
+	local := make([]uint64, 0, pt.Count/8+16)
+	for wi := pt.Start / per; wi*per < end; wi++ {
+		base := wi * per
+		valid := end - base
+		m := mask(words[wi])
+		if valid < per {
+			m &= (uint64(1) << uint(valid)) - 1
+		}
+		for ; m != 0; m &= m - 1 {
+			local = append(local, uint64(base+bits.TrailingZeros64(m)))
+		}
+	}
+	return local
+}
+
+// parSumStaticBPDirect sums each partition directly on its packed word range
+// via the window-parallel SWAR accumulation (SumStaticBPDirect per morsel).
+func parSumStaticBPDirect(in *columns.Column, parts []formats.Partition, par int) (uint64, *columns.Column, error) {
+	b := uint(in.Desc().Bits)
+	words := in.MainWords()
+	partials := make([]uint64, len(parts))
+	err := runParts(par, parts, func(_, i int, pt formats.Partition) error {
+		// pt.Start is a multiple of 64 elements, so the section's packed
+		// words begin word-aligned at Start*b/64 and span exactly the words
+		// holding its Count fields (the accumulation consumes whole words).
+		startW := pt.Start * int(b) / 64
+		endW := startW + bitutil.PackedWords(pt.Count, b)
+		partials[i] = bitutil.SumPackedWords(words[startW:endW], pt.Count, b)
+		return nil
+	})
+	if err != nil {
+		return 0, nil, fmt.Errorf("ops: parallel swar sum: %w", err)
+	}
+	var total uint64
+	for _, t := range partials {
+		total += t
+	}
+	return total, columns.FromValues([]uint64{total}), nil
+}
+
+// parSumDynBPDirect sums each partition of a DynBP column block by block
+// directly on the packed payload words (SumDynBPDirect per morsel), plus the
+// uncompressed remainder for the tail partition.
+func parSumDynBPDirect(in *columns.Column, parts []formats.Partition, par int) (uint64, *columns.Column, error) {
+	words := in.MainWords()
+	// One serial header walk (no payload is touched) positions every
+	// partition's word cursor up front; partitions are block-aligned, so a
+	// partition start never lands inside a block.
+	offsets := make([]int, len(parts))
+	w, e := 0, 0
+	for i, pt := range parts {
+		for ; e < pt.Start; e += formats.BlockLen {
+			bw, err := dynBPHeaderWidth(words, w)
+			if err != nil {
+				return 0, nil, err
+			}
+			w += 1 + int(bw)*(formats.BlockLen/64)
+		}
+		offsets[i] = w
+	}
+	partials := make([]uint64, len(parts))
+	err := runParts(par, parts, func(_, i int, pt formats.Partition) error {
+		w := offsets[i]
+		var t uint64
+		end := min(pt.Start+pt.Count, in.MainElems())
+		for e := pt.Start; e < end; e += formats.BlockLen {
+			bw, err := dynBPHeaderWidth(words, w)
+			if err != nil {
+				return err
+			}
+			w++
+			pw := int(bw) * (formats.BlockLen / 64)
+			if w+pw > len(words) {
+				return fmt.Errorf("ops: %w: dyn BP payload beyond buffer", formats.ErrCorrupt)
+			}
+			t += bitutil.SumPackedWords(words[w:w+pw], formats.BlockLen, bw)
+			w += pw
+		}
+		// The tail partition also covers the uncompressed remainder.
+		if pt.Start+pt.Count > in.MainElems() {
+			for _, v := range in.Remainder() {
+				t += v
+			}
+		}
+		partials[i] = t
+		return nil
+	})
+	if err != nil {
+		return 0, nil, fmt.Errorf("ops: parallel dyn BP sum: %w", err)
+	}
+	var total uint64
+	for _, t := range partials {
+		total += t
+	}
+	return total, columns.FromValues([]uint64{total}), nil
+}
+
+// dynBPHeaderWidth reads and validates the block width header at words[w].
+func dynBPHeaderWidth(words []uint64, w int) (uint, error) {
+	if w >= len(words) {
+		return 0, fmt.Errorf("ops: %w: dyn BP header beyond buffer", formats.ErrCorrupt)
+	}
+	b := uint(words[w])
+	if b > 64 {
+		return 0, fmt.Errorf("ops: %w: dyn BP width %d", formats.ErrCorrupt, b)
+	}
+	return b, nil
+}

@@ -388,19 +388,25 @@ func TestParallelSumGroupedRejectsOutOfRange(t *testing.T) {
 }
 
 // TestParallelAutoMatchesSpecialized checks that the auto dispatchers stay
-// byte-identical to the sequential auto path even when the sequential side
-// picks a specialized direct kernel (static BP SWAR, RLE run-level).
+// byte-identical to the sequential auto path whether the specialized kernel
+// runs per partition (static BP SWAR select/sum and per-block DynBP sum on
+// splittable inputs) or the sequential side picks a specialized direct
+// kernel on inputs that cannot split (RLE run-level).
 func TestParallelAutoMatchesSpecialized(t *testing.T) {
 	vals := make([]uint64, parTestN)
 	for i := range vals {
 		vals[i] = uint64(i % 200)
 	}
-	for _, inDesc := range []columns.FormatDesc{columns.StaticBPDesc(8), columns.RLEDesc} {
+	for _, inDesc := range []columns.FormatDesc{columns.StaticBPDesc(8), columns.DynBPDesc, columns.RLEDesc} {
 		in, err := formats.Compress(vals, inDesc)
 		if err != nil {
 			t.Fatal(err)
 		}
 		want, err := SelectAuto(in, bitutil.CmpLt, 50, columns.DeltaBPDesc, vector.Vec512, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBet, err := SelectBetweenAuto(in, 20, 120, columns.DeltaBPDesc, vector.Vec512, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -410,6 +416,11 @@ func TestParallelAutoMatchesSpecialized(t *testing.T) {
 				t.Fatalf("%v p=%d: %v", inDesc, par, err)
 			}
 			assertSameColumn(t, "auto select "+inDesc.String(), want, got)
+			got, err = ParSelectBetweenAuto(in, 20, 120, columns.DeltaBPDesc, vector.Vec512, true, par)
+			if err != nil {
+				t.Fatalf("%v p=%d: %v", inDesc, par, err)
+			}
+			assertSameColumn(t, "auto between "+inDesc.String(), wantBet, got)
 		}
 		wantSum, _, err := SumAuto(in, vector.Vec512, true)
 		if err != nil {
@@ -423,6 +434,145 @@ func TestParallelAutoMatchesSpecialized(t *testing.T) {
 			if gotSum != wantSum {
 				t.Fatalf("auto sum %v p=%d: %d, want %d", inDesc, par, gotSum, wantSum)
 			}
+		}
+	}
+}
+
+// TestParallelAutoSpecializedEdgeCases pins the dispatch edges of the
+// per-partition SWAR kernels: predicate constants beyond the packed field
+// range and range predicates straddling it must match the sequential auto
+// operator (which rewrites or clamps them) bit for bit.
+func TestParallelAutoSpecializedEdgeCases(t *testing.T) {
+	vals := make([]uint64, parTestN)
+	for i := range vals {
+		vals[i] = uint64(i % 200)
+	}
+	in, err := formats.Compress(vals, columns.StaticBPDesc(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		op     bitutil.CmpKind
+		val    uint64
+		lo, hi uint64
+		rng    bool
+	}{
+		{name: "eq_beyond_width", op: bitutil.CmpEq, val: 1 << 30},
+		{name: "lt_beyond_width", op: bitutil.CmpLt, val: 1 << 30},
+		{name: "between_hi_beyond_width", lo: 100, hi: 1 << 30, rng: true},
+		{name: "between_lo_beyond_width", lo: 1 << 30, hi: 1 << 31, rng: true},
+	}
+	for _, tc := range cases {
+		var want *columns.Column
+		if tc.rng {
+			want, err = SelectBetweenAuto(in, tc.lo, tc.hi, columns.DynBPDesc, vector.Scalar, true)
+		} else {
+			want, err = SelectAuto(in, tc.op, tc.val, columns.DynBPDesc, vector.Scalar, true)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, par := range parLevels {
+			var got *columns.Column
+			if tc.rng {
+				got, err = ParSelectBetweenAuto(in, tc.lo, tc.hi, columns.DynBPDesc, vector.Scalar, true, par)
+			} else {
+				got, err = ParSelectAuto(in, tc.op, tc.val, columns.DynBPDesc, vector.Scalar, true, par)
+			}
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", tc.name, par, err)
+			}
+			assertSameColumn(t, tc.name, want, got)
+		}
+	}
+}
+
+// TestStitchCompressedMatchesSerialWriter checks the parallel compressed
+// stitch in isolation: for every output format and parallelism degree, the
+// sectioned compress-and-concatenate path must produce the bytes of a single
+// sequential writer consuming the same chunks.
+func TestStitchCompressedMatchesSerialWriter(t *testing.T) {
+	vals := parTestValues(parTestN)
+	// Ragged chunks mimicking skewed per-morsel outputs, including empties.
+	cuts := []int{0, 17, 17, 2048, 2500, 4096, parTestN}
+	chunks := make([][]uint64, 0, len(cuts)-1)
+	for i := 1; i < len(cuts); i++ {
+		chunks = append(chunks, vals[cuts[i-1]:cuts[i]])
+	}
+	for _, desc := range append(formats.AllDescs(), columns.StaticBPDesc(36)) {
+		want, err := StitchCompressed(desc, parTestN, chunks, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range parLevels[1:] {
+			got, err := StitchCompressed(desc, parTestN, chunks, par)
+			if err != nil {
+				t.Fatalf("%v p=%d: %v", desc, par, err)
+			}
+			assertSameColumn(t, "stitch "+desc.String(), want, got)
+		}
+	}
+	// Position-list shaped stream (sorted): the DeltaBP sweet spot.
+	pos := make([]uint64, parTestN)
+	for i := range pos {
+		pos[i] = uint64(3 * i)
+	}
+	posChunks := [][]uint64{pos[:100], pos[100:4096], pos[4096:]}
+	for _, desc := range formats.AllDescs() {
+		want, err := StitchCompressed(desc, parTestN, posChunks, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := StitchCompressed(desc, parTestN, posChunks, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", desc, err)
+		}
+		assertSameColumn(t, "stitch pos "+desc.String(), want, got)
+	}
+}
+
+// TestStitchZeroAllocConcat extends the cross-product with the allocation
+// contract of the stitch's serial tail: once the per-worker sections exist,
+// splicing them at full-block boundaries costs a constant number of
+// allocations (the result buffer and column), never per-block work.
+func TestStitchZeroAllocConcat(t *testing.T) {
+	// A position-list shaped stream: every value < parTestN, so the preset
+	// static BP position width holds every section at one shared width.
+	vals := make([]uint64, parTestN)
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	for _, desc := range formats.AllDescs() {
+		d := positionDesc(desc, parTestN) // as the parallel drivers request it
+		ranges := formats.SplitRange(parTestN, 4, formats.ConcatAlign(d.Kind))
+		if ranges == nil {
+			t.Fatalf("%v: range did not split", d)
+		}
+		parts := make([]*columns.Column, len(ranges))
+		for i, pt := range ranges {
+			var prev uint64
+			if pt.Start > 0 {
+				prev = vals[pt.Start-1]
+			}
+			w, err := formats.NewSectionWriter(d, pt.Count, prev, pt.Start > 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Write(vals[pt.Start : pt.Start+pt.Count]); err != nil {
+				t.Fatal(err)
+			}
+			if parts[i], err = w.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := formats.ConcatCompressed(parts[0].Desc(), parts); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 8 {
+			t.Errorf("%v: aligned concat did %.0f allocations, want <= 8", d, allocs)
 		}
 	}
 }

@@ -197,12 +197,9 @@ func SumDynBPDirect(in *columns.Column) (uint64, error) {
 	var total uint64
 	w := 0
 	for e := 0; e < in.MainElems(); e += formats.BlockLen {
-		if w >= len(words) {
-			return 0, fmt.Errorf("ops: %w: dyn BP header beyond buffer", formats.ErrCorrupt)
-		}
-		b := uint(words[w])
-		if b > 64 {
-			return 0, fmt.Errorf("ops: %w: dyn BP width %d", formats.ErrCorrupt, b)
+		b, err := dynBPHeaderWidth(words, w)
+		if err != nil {
+			return 0, err
 		}
 		w++
 		pw := int(b) * (formats.BlockLen / 64)

@@ -96,6 +96,18 @@ func Compress(vals []uint64, desc FormatDesc) (*Column, error) {
 // Decompress expands a column into a fresh value slice.
 func Decompress(col *Column) ([]uint64, error) { return formats.Decompress(col) }
 
+// ConcatCompressed concatenates columns of one format into a single column
+// holding their element streams back to back, byte-identical to compressing
+// the concatenated streams monolithically — but built from block-granular
+// copies of the parts' compressed blocks, with only per-seam fixups (DeltaBP
+// first-block rebase, RLE adjacent-run merge, bit-stream shifts for
+// misaligned static BP seams). It is the splice primitive behind the
+// parallel operators' compressed stitch, exported for partition-at-rest use
+// cases (assembling shard results without a decompression round trip).
+func ConcatCompressed(desc FormatDesc, parts []*Column) (*Column, error) {
+	return formats.ConcatCompressed(desc, parts)
+}
+
 // Morph re-represents a column in another format without materializing it
 // uncompressed in main memory (direct morphing where available, block-wise
 // streaming otherwise).

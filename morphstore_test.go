@@ -290,3 +290,37 @@ func TestFacadeFormats(t *testing.T) {
 		t.Error("EstimateBytes")
 	}
 }
+
+func TestFacadeConcatCompressed(t *testing.T) {
+	vals := make([]uint64, 3000)
+	for i := range vals {
+		vals[i] = uint64(2 * i)
+	}
+	for _, desc := range AllFormats() {
+		whole, err := Compress(vals, desc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Compress(vals[:1024], desc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Compress(vals[1024:], desc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ConcatCompressed(desc, []*Column{a, b})
+		if err != nil {
+			t.Fatalf("%v: %v", desc, err)
+		}
+		gw, ww := got.Words(), whole.Words()
+		if got.Desc() != whole.Desc() || got.N() != whole.N() || len(gw) != len(ww) {
+			t.Fatalf("%v: concat shape differs: %v vs %v", desc, got, whole)
+		}
+		for i := range ww {
+			if gw[i] != ww[i] {
+				t.Fatalf("%v: word %d differs", desc, i)
+			}
+		}
+	}
+}
