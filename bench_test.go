@@ -9,6 +9,7 @@
 package morphstore
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -563,6 +564,47 @@ func BenchmarkParallelSSBQ41(b *testing.B) {
 			cfg.Parallelism = par
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Execute(plan, enc, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineMultiQuery runs SSB Q1.1, prepared once on an engine with
+// a GOMAXPROCS worker budget, from conc concurrent query streams: the
+// shared-budget multi-query scheduling measurement. Every stream's results
+// stay byte-identical to a sequential run (TestEngineConcurrentExecutes
+// proves the identity).
+func BenchmarkEngineMultiQuery(b *testing.B) {
+	data, plans := getBenchSSB(b)
+	plan := plans[ssb.Q11]
+	enc, err := data.DB.Encode(dynBPBaseAssign(plan))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := core.NewEngine(enc, core.WithStyle(vector.Vec512))
+	pq, err := eng.Prepare(plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, conc := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("conc%d", conc), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errCh := make(chan error, conc)
+				for s := 0; s < conc; s++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if _, err := pq.Execute(context.Background()); err != nil {
+							errCh <- err
+						}
+					}()
+				}
+				wg.Wait()
+				close(errCh)
+				if err := <-errCh; err != nil {
 					b.Fatal(err)
 				}
 			}

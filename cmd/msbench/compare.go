@@ -42,6 +42,12 @@ func classifyMetric(section, metric string) gatedKind {
 		// a handful of memcpys), so its timing is dominated by allocator
 		// and page-placement noise like compress_gbps: informational only.
 		return gateInfo
+	case metric == "qps":
+		// Multi-query throughput depends on the runner's core count, which
+		// the single-scale speed normalization cannot factor out (a 1-core
+		// baseline understates conc>1 on multi-core runners and vice
+		// versa): informational, like compress_gbps.
+		return gateInfo
 	case metric == "gbps" || strings.HasSuffix(metric, "_gbps"):
 		return gateThroughput
 	case metric == "rate":

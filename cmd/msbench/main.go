@@ -11,16 +11,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"morphstore/internal/bitutil"
 	"morphstore/internal/columns"
+	"morphstore/internal/core"
 	"morphstore/internal/costmodel"
 	"morphstore/internal/datagen"
 	"morphstore/internal/formats"
@@ -368,6 +371,67 @@ func run(b *bench, n int, seed int64, repeats, par int) error {
 	}
 	if err := stitchBench(b, repeats, par, "project_vals/dyn_bp", datagen.Generate(datagen.C1, n, seed+2), columns.DynBPDesc); err != nil {
 		return err
+	}
+
+	// Multi-query scheduling: one plan prepared once on an engine whose
+	// worker budget is shared by C concurrent query streams. Throughput in
+	// queries/s shows how the budget re-division behaves as streams pile up
+	// (conc=1 is the single-query baseline).
+	b.printf("\n-- multi-query scheduling (prepared plan, %d-worker shared budget) --\n", par)
+	qdb := core.NewDB()
+	qdb.AddTable("t", map[string][]uint64{"a": gidVals, "b": probeVals})
+	enc, err := qdb.Encode(map[string]columns.FormatDesc{
+		"t.a": columns.DynBPDesc, "t.b": columns.StaticBPDesc(0)})
+	if err != nil {
+		return err
+	}
+	pb := core.NewBuilder()
+	pa := pb.Scan("t", "a")
+	pbcol := pb.Scan("t", "b")
+	pos := pb.Between("pos", pa, nGroups/4, 3*nGroups/4) // ~50% selectivity
+	vals2 := pb.Project("vals", pbcol, pos)
+	pb.Result(pb.SumWhole("total", vals2))
+	plan, err := pb.Build()
+	if err != nil {
+		return err
+	}
+	eng := core.NewEngine(enc, core.WithParallelism(par), core.WithStyle(vector.Vec512))
+	pq, err := eng.Prepare(plan, core.WithFormats(map[string]columns.FormatDesc{
+		"pos": columns.DeltaBPDesc, "vals": columns.DynBPDesc}))
+	if err != nil {
+		return err
+	}
+	const queriesPerStream = 2
+	concs := []int{1, par, 4 * par}
+	for i, conc := range concs {
+		if i > 0 && conc == concs[i-1] {
+			continue
+		}
+		t, err := minTime(repeats, func() error {
+			var wg sync.WaitGroup
+			errCh := make(chan error, conc)
+			for s := 0; s < conc; s++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for q := 0; q < queriesPerStream; q++ {
+						if _, err := pq.Execute(context.Background()); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errCh)
+			return <-errCh
+		})
+		if err != nil {
+			return err
+		}
+		qps := float64(conc*queriesPerStream) / t.Seconds()
+		b.printf("conc=%-3d %8.1f queries/s\n", conc, qps)
+		b.record("multiquery", fmt.Sprintf("conc%d", conc), "qps", qps)
 	}
 	return nil
 }

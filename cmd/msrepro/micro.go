@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -168,15 +169,17 @@ func runFig6(opt options) error {
 			if err != nil {
 				return err
 			}
-			c := core.UncompressedConfig(vector.Vec512)
-			c.Parallelism = 1 // paper reproduction: sequential operator timings
-			if cfg.inter != nil {
-				c.Inter = cfg.inter
+			// Paper reproduction: a single-worker engine yields sequential
+			// operator timings; the plan compiles once per configuration.
+			eng := core.NewEngine(enc, core.WithParallelism(1), core.WithStyle(vector.Vec512))
+			pq, err := eng.Prepare(plan, core.WithFormats(cfg.inter))
+			if err != nil {
+				return err
 			}
 			var res *core.Result
 			t, err := timeIt(opt.repeats, func() error {
 				var err error
-				res, err = core.Execute(plan, enc, c)
+				res, err = pq.Execute(context.Background())
 				return err
 			})
 			if err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -67,13 +68,19 @@ func getSSB(opt options) (*ssbCache, error) {
 	return c, nil
 }
 
-// verified executes the plan and checks the result against the reference.
-// The paper's figures measure the sequential operator-at-a-time model, so
-// the reproduction pins Parallelism to 1 (per-operator timings would
-// otherwise include scheduler contention on multi-core hosts).
-func (c *ssbCache) verified(q ssb.Query, db *core.DB, cfg *core.Config) (*core.Result, error) {
-	cfg.Parallelism = 1
-	res, err := core.Execute(c.plans[q], db, cfg)
+// prepare compiles the query once on a single-worker engine over db. The
+// paper's figures measure the sequential operator-at-a-time model, so the
+// reproduction pins the budget to 1 (per-operator timings would otherwise
+// include scheduler contention on multi-core hosts).
+func (c *ssbCache) prepare(q ssb.Query, db *core.DB, cfg *core.Config) (*core.Prepared, error) {
+	eng := core.NewEngine(db, core.WithParallelism(1))
+	return eng.Prepare(c.plans[q], core.WithConfig(cfg))
+}
+
+// verified executes the prepared query and checks the result against the
+// reference.
+func (c *ssbCache) verified(q ssb.Query, pq *core.Prepared) (*core.Result, error) {
+	res, err := pq.Execute(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -88,15 +95,20 @@ func (c *ssbCache) verified(q ssb.Query, db *core.DB, cfg *core.Config) (*core.R
 }
 
 // timedRun reports the minimum runtime (engine-measured operator time) of
-// the configuration over opt.repeats runs, verifying the first.
+// the configuration over opt.repeats runs, verifying the first. The plan is
+// prepared once and executed repeatedly — the prepared-query pattern.
 func (c *ssbCache) timedRun(opt options, q ssb.Query, db *core.DB, cfg *core.Config) (*core.Result, time.Duration, error) {
-	res, err := c.verified(q, db, cfg)
+	pq, err := c.prepare(q, db, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := c.verified(q, pq)
 	if err != nil {
 		return nil, 0, err
 	}
 	best := res.Meas.Runtime
 	for i := 1; i < opt.repeats; i++ {
-		r, err := core.Execute(c.plans[q], db, cfg)
+		r, err := pq.Execute(context.Background())
 		if err != nil {
 			return nil, 0, err
 		}

@@ -1,0 +1,121 @@
+// Engine API: the primary way to execute queries and operators.
+//
+// An Engine owns a database, an engine-wide worker budget, and an admission
+// gate. Plans are compiled once with Prepare — per-column formats resolved
+// explicitly, uniformly, or cost-based; morph insertions and
+// specialized-kernel dispatch bound per node — and executed any number of
+// times, from any number of goroutines, under a context.Context:
+//
+//	eng := morphstore.NewEngine(db,
+//		morphstore.WithStyle(morphstore.Vec512),
+//		morphstore.WithParallelism(8),
+//		morphstore.WithMaxConcurrentQueries(64))
+//	q, err := eng.Prepare(plan, morphstore.WithCostBasedFormats())
+//	res, err := q.Execute(ctx)
+//
+// Concurrent Execute calls share the engine's worker budget: the allowance
+// is re-divided deterministically whenever an operator of any running query
+// starts or finishes, results are byte-identical to a sequential run at
+// every parallelism level, and a cancelled context stops the DAG scheduler
+// and the running morsel loops within one morsel.
+//
+// The engine also offers every operator as a one-off call under the same
+// budget, replacing the positional (out, style, par) parameter tails with
+// functional options:
+//
+//	pos, err := eng.Select(ctx, col, morphstore.CmpGt, 3,
+//		morphstore.WithOutput(morphstore.DeltaBP))
+//
+// The free functions of the original facade (Select, Project, Execute, …)
+// remain as deprecated thin wrappers over the same kernels.
+package morphstore
+
+import (
+	"morphstore/internal/core"
+)
+
+// Engine owns a database, an engine-wide worker budget shared
+// deterministically by every concurrently executing query and one-off
+// operator call, and an optional admission gate. It is safe for concurrent
+// use. See core.Engine for the full method set: Prepare plus the one-off
+// operators Select, SelectBetween, Project, Sum, SumGrouped, SemiJoin,
+// JoinN1, Calc, Intersect, and Union, all taking a context and options.
+type Engine = core.Engine
+
+// Prepared is a plan compiled against one engine: formats resolved, every
+// node bound to a physical operator. It is immutable and safe for
+// concurrent Execute(ctx) calls from many goroutines.
+type Prepared = core.Prepared
+
+// Option is a functional option for NewEngine, Engine.Prepare,
+// Prepared.Execute, and the engine's one-off operator calls.
+type Option = core.Option
+
+// NewEngine returns an engine over db (nil means an empty database, for
+// one-off operator use). Options set engine-wide defaults (WithStyle,
+// WithSpecialized, WithAutoMorph), the worker budget (WithParallelism:
+// 0 = GOMAXPROCS), and the admission gate (WithMaxConcurrentQueries).
+func NewEngine(db *DB, opts ...Option) *Engine { return core.NewEngine(db, opts...) }
+
+// WithStyle selects the processing-style specialization of all kernels.
+// Applies to NewEngine (default), Prepare, and one-off operator calls.
+func WithStyle(s Style) Option { return core.WithStyle(s) }
+
+// WithSpecialized enables the specialized-operator integration degree for
+// formats that have one (§3.3). Applies to NewEngine, Prepare, and one-off
+// operator calls.
+func WithSpecialized(on bool) Option { return core.WithSpecialized(on) }
+
+// WithAutoMorph permits on-the-fly morphs when an operator needs random
+// access to a column whose format does not support it; without it such
+// plans fail to prepare. Applies to NewEngine and Prepare.
+func WithAutoMorph(on bool) Option { return core.WithAutoMorph(on) }
+
+// WithKeep retains all intermediate columns in the result. Applies to
+// Prepare and Execute.
+func WithKeep(on bool) Option { return core.WithKeep(on) }
+
+// WithParallelism sets the worker-goroutine budget: at NewEngine the
+// engine-wide budget shared by all concurrent queries, at Prepare/Execute
+// and one-off operator calls the cap of that one query or operator. 0 means
+// the engine budget (GOMAXPROCS for a fresh engine); 1 reproduces the
+// sequential operator-at-a-time execution exactly. Results are
+// byte-identical at every level.
+func WithParallelism(n int) Option { return core.WithParallelism(n) }
+
+// WithMaxConcurrentQueries bounds how many Execute calls run at once; the
+// surplus waits (honouring ctx) at the engine's admission gate. 0 means
+// unlimited. Applies to NewEngine.
+func WithMaxConcurrentQueries(n int) Option { return core.WithMaxConcurrentQueries(n) }
+
+// WithFormat assigns a compression format to one named plan column,
+// overriding WithUniformFormat/WithCostBasedFormats choices. Applies to
+// Prepare.
+func WithFormat(column string, d FormatDesc) Option { return core.WithFormat(column, d) }
+
+// WithFormats assigns compression formats to the named plan columns
+// (missing entries stay uncompressed). Applies to Prepare.
+func WithFormats(m map[string]FormatDesc) Option { return core.WithFormats(m) }
+
+// WithUniformFormat assigns one format to every intermediate of the plan
+// (randomly accessed columns fall back to static BP). Applies to Prepare.
+func WithUniformFormat(d FormatDesc) Option { return core.WithUniformFormat(d) }
+
+// WithCostBasedFormats selects every intermediate's format with the
+// gray-box cost model (footprint objective, §5) at prepare time. Applies to
+// Prepare.
+func WithCostBasedFormats() Option { return core.WithCostBasedFormats() }
+
+// WithConfig adopts a legacy Config (formats, style, specialized,
+// AutoMorph, Keep). Applies to Prepare; it is the migration bridge from the
+// deprecated Execute.
+func WithConfig(cfg *Config) Option { return core.WithConfig(cfg) }
+
+// WithOutput sets the output format of a one-off operator call (every
+// output of dual-output operators). Defaults to Uncompressed. Applies to
+// operator calls.
+func WithOutput(d FormatDesc) Option { return core.WithOutput(d) }
+
+// WithOutputs sets the two output formats of a dual-output operator call
+// (JoinN1: probe positions, build positions). Applies to operator calls.
+func WithOutputs(first, second FormatDesc) Option { return core.WithOutputs(first, second) }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -62,10 +63,13 @@ func main() {
 	fmt.Printf("  %v (%d B)  ->  %v (%d B)\n",
 		col.Desc(), col.PhysicalBytes(), asStatic.Desc(), asStatic.PhysicalBytes())
 
-	fmt.Println("\n== Compression-enabled operators ==")
-	// Select directly produces a *compressed* sorted position list:
-	// positions are sorted, so DELTA+BP is the natural choice.
-	pos, err := ms.Select(col, ms.CmpLt, 100, ms.DeltaBP, ms.Vec512)
+	fmt.Println("\n== Compression-enabled operators through the engine ==")
+	// One engine owns the worker budget; every one-off operator call runs
+	// under it. Select directly produces a *compressed* sorted position
+	// list: positions are sorted, so DELTA+BP is the natural choice.
+	ctx := context.Background()
+	eng := ms.NewEngine(nil, ms.WithStyle(ms.Vec512))
+	pos, err := eng.Select(ctx, col, ms.CmpLt, 100, ms.WithOutput(ms.DeltaBP))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,11 +77,11 @@ func main() {
 		pos.N(), pos.Desc(), pos.PhysicalBytes())
 
 	// Project gathers the matching values (random access needs StaticBP).
-	vcol, err := ms.Project(asStatic, pos, ms.DynBP, ms.Vec512)
+	vcol, err := eng.Project(ctx, asStatic, pos, ms.WithOutput(ms.DynBP))
 	if err != nil {
 		log.Fatal(err)
 	}
-	total, err := ms.Sum(vcol, ms.Vec512)
+	total, err := eng.Sum(ctx, vcol)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,15 +89,15 @@ func main() {
 
 	// The same pipeline fully uncompressed gives the same answer.
 	ucol := ms.FromValues(vals)
-	upos, err := ms.Select(ucol, ms.CmpLt, 100, ms.Uncompressed, ms.Scalar)
+	upos, err := eng.Select(ctx, ucol, ms.CmpLt, 100, ms.WithStyle(ms.Scalar))
 	if err != nil {
 		log.Fatal(err)
 	}
-	uvals, err := ms.Project(ucol, upos, ms.Uncompressed, ms.Scalar)
+	uvals, err := eng.Project(ctx, ucol, upos, ms.WithStyle(ms.Scalar))
 	if err != nil {
 		log.Fatal(err)
 	}
-	utotal, err := ms.Sum(uvals, ms.Scalar)
+	utotal, err := eng.Sum(ctx, uvals, ms.WithStyle(ms.Scalar))
 	if err != nil {
 		log.Fatal(err)
 	}

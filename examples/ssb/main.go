@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -28,6 +29,12 @@ func main() {
 	fmt.Printf("%-6s %14s %14s %14s %12s %12s\n",
 		"query", "uncompr [ms]", "compr [ms]", "speedup", "uncompr [MB]", "compr [MB]")
 
+	// Both engines pin the worker budget to 1 so the printed per-operator
+	// runtime comparison stays the sequential operator-at-a-time
+	// measurement on any host.
+	ctx := context.Background()
+	engU := ms.NewEngine(data.DB, ms.WithStyle(ms.Vec512), ms.WithParallelism(1))
+
 	var totU, totC float64
 	for _, q := range ms.SSBQueries {
 		plan, err := ms.BuildSSBPlan(q, data)
@@ -35,12 +42,12 @@ func main() {
 			log.Fatal(err)
 		}
 
-		// Uncompressed, vectorized. Both runs pin Parallelism to 1 so the
-		// printed per-operator runtime comparison stays the sequential
-		// operator-at-a-time measurement on any host.
-		cfgU := ms.UncompressedConfig(ms.Vec512)
-		cfgU.Parallelism = 1
-		resU, err := ms.Execute(plan, data.DB, cfgU)
+		// Uncompressed, vectorized.
+		qU, err := engU.Prepare(plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resU, err := qU.Execute(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -55,9 +62,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cfg := assign.Config(ms.Vec512, true)
-		cfg.Parallelism = 1
-		resC, err := ms.Execute(plan, encoded, cfg)
+		engC := ms.NewEngine(encoded, ms.WithStyle(ms.Vec512), ms.WithParallelism(1))
+		qC, err := engC.Prepare(plan, ms.WithFormats(assign.Inter), ms.WithSpecialized(true))
+		if err != nil {
+			log.Fatal(err)
+		}
+		resC, err := qC.Execute(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

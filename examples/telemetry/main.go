@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -78,11 +79,14 @@ func main() {
 	}
 
 	// Run uncompressed vs. cost-model-selected continuous compression,
-	// pinned to sequential execution so the printed runtime comparison is
-	// the per-operator measurement on any host.
-	cfgU := ms.UncompressedConfig(ms.Vec512)
-	cfgU.Parallelism = 1
-	resU, err := ms.Execute(plan, db, cfgU)
+	// pinned to sequential execution (WithParallelism(1)) so the printed
+	// runtime comparison is the per-operator measurement on any host.
+	ctx := context.Background()
+	qU, err := ms.NewEngine(db, ms.WithStyle(ms.Vec512), ms.WithParallelism(1)).Prepare(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resU, err := qU.Execute(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,9 +98,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfgC := assign.Config(ms.Vec512, true)
-	cfgC.Parallelism = 1
-	resC, err := ms.Execute(plan, encoded, cfgC)
+	qC, err := ms.NewEngine(encoded, ms.WithStyle(ms.Vec512), ms.WithParallelism(1)).
+		Prepare(plan, ms.WithFormats(assign.Inter), ms.WithSpecialized(true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resC, err := qC.Execute(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,484 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"morphstore/internal/columns"
+	"morphstore/internal/formats"
+	"morphstore/internal/ops"
+	"morphstore/internal/vector"
+)
+
+// This file implements the engine API around the holistic processing model:
+// an Engine owns the base data, an engine-wide worker budget and an
+// admission gate; Prepare compiles a plan once — per-column formats
+// resolved explicitly, uniformly, or cost-based, morphs inserted,
+// specialized-kernel dispatch fixed (physop.go) — into a Prepared query; and
+// Prepared.Execute runs it under a context, with cancellation threaded
+// through the DAG scheduler and the morsel loops, and with concurrent
+// Execute calls sharing the engine's parallelism budget deterministically.
+
+// scope classifies where a functional option applies.
+type scope uint8
+
+const (
+	scopeEngine scope = 1 << iota
+	scopePrepare
+	scopeExec
+	scopeOp
+)
+
+func (s scope) String() string {
+	switch s {
+	case scopeEngine:
+		return "NewEngine"
+	case scopePrepare:
+		return "Prepare"
+	case scopeExec:
+		return "Execute"
+	case scopeOp:
+		return "operator calls"
+	}
+	return "option"
+}
+
+// options is the resolved option set of one engine, preparation, execution,
+// or one-off operator call. Layers merge: engine defaults, then Prepare
+// overrides, then Execute overrides.
+type options struct {
+	style       vector.Style
+	specialized bool
+	autoMorph   bool
+	keep        bool
+	par         int // 0 = engine budget / GOMAXPROCS
+	maxQueries  int // 0 = unlimited
+	// Format resolution (Prepare): explicit per-column formats, a uniform
+	// format for every intermediate, or cost-based selection. Explicit
+	// entries take precedence over uniform/cost-based choices.
+	inter     map[string]columns.FormatDesc
+	explicit  map[string]columns.FormatDesc
+	uniform   *columns.FormatDesc
+	costBased bool
+	// Output formats of one-off operator calls (one entry applies to every
+	// output; two entries address dual-output operators positionally).
+	output []columns.FormatDesc
+}
+
+// Option is a functional option for NewEngine, Engine.Prepare,
+// Prepared.Execute, and the engine's one-off operator methods. Each option
+// documents where it applies; passing it elsewhere is reported as an error
+// by the receiving call.
+type Option struct {
+	name  string
+	scope scope
+	apply func(*options)
+}
+
+// apply merges opts into base, rejecting options that do not apply at sc.
+func (base options) merged(sc scope, opts []Option) (options, error) {
+	o := base
+	// The format maps are layered: overrides copy-on-write so a Prepared's
+	// resolved options never alias the engine defaults.
+	for _, op := range opts {
+		if op.scope&sc == 0 {
+			return o, fmt.Errorf("core: option %s does not apply to %s", op.name, sc)
+		}
+		op.apply(&o)
+	}
+	return o, nil
+}
+
+// WithStyle selects the processing-style specialization of all kernels
+// (scalar or 8-lane 512-bit vector). Applies to NewEngine (default),
+// Prepare, and one-off operator calls.
+func WithStyle(s vector.Style) Option {
+	return Option{name: "WithStyle", scope: scopeEngine | scopePrepare | scopeOp,
+		apply: func(o *options) { o.style = s }}
+}
+
+// WithSpecialized enables the specialized-operator integration degree for
+// formats that have one (§3.3: employ them selectively). Applies to
+// NewEngine, Prepare, and one-off operator calls.
+func WithSpecialized(on bool) Option {
+	return Option{name: "WithSpecialized", scope: scopeEngine | scopePrepare | scopeOp,
+		apply: func(o *options) { o.specialized = on }}
+}
+
+// WithAutoMorph permits on-the-fly morphs when an operator needs random
+// access to a column whose format does not support it; without it such
+// plans fail to prepare (strict consistency, §3.3). Applies to NewEngine
+// and Prepare.
+func WithAutoMorph(on bool) Option {
+	return Option{name: "WithAutoMorph", scope: scopeEngine | scopePrepare,
+		apply: func(o *options) { o.autoMorph = on }}
+}
+
+// WithKeep retains all intermediate columns in the result (used by the
+// format-search and cost-model tooling). Applies to Prepare and Execute.
+func WithKeep(on bool) Option {
+	return Option{name: "WithKeep", scope: scopePrepare | scopeExec,
+		apply: func(o *options) { o.keep = on }}
+}
+
+// WithParallelism sets the worker-goroutine budget: at NewEngine the
+// engine-wide budget shared by all concurrent queries, at Prepare/Execute
+// and one-off operator calls the cap of that one query or operator.
+// 0 means the engine budget (GOMAXPROCS for a fresh engine); 1 reproduces
+// the sequential operator-at-a-time execution exactly. Results are
+// byte-identical at every level.
+func WithParallelism(n int) Option {
+	return Option{name: "WithParallelism", scope: scopeEngine | scopePrepare | scopeExec | scopeOp,
+		apply: func(o *options) { o.par = n }}
+}
+
+// WithMaxConcurrentQueries bounds how many Execute calls run at once; the
+// surplus waits (honouring ctx) at the engine's admission gate. 0 means
+// unlimited. Applies to NewEngine.
+func WithMaxConcurrentQueries(n int) Option {
+	return Option{name: "WithMaxConcurrentQueries", scope: scopeEngine,
+		apply: func(o *options) { o.maxQueries = n }}
+}
+
+// WithFormat assigns a compression format to one named plan column
+// (an intermediate, or with WithCostBasedFormats/WithUniformFormat an
+// override of the automatic choice). Applies to Prepare.
+func WithFormat(column string, d columns.FormatDesc) Option {
+	return Option{name: "WithFormat", scope: scopePrepare, apply: func(o *options) {
+		m := make(map[string]columns.FormatDesc, len(o.explicit)+1)
+		for k, v := range o.explicit {
+			m[k] = v
+		}
+		m[column] = d
+		o.explicit = m
+	}}
+}
+
+// WithFormats assigns compression formats to the named plan columns
+// (DP2: each intermediate chosen independently; missing entries stay
+// uncompressed). Applies to Prepare.
+func WithFormats(m map[string]columns.FormatDesc) Option {
+	return Option{name: "WithFormats", scope: scopePrepare, apply: func(o *options) {
+		merged := make(map[string]columns.FormatDesc, len(o.explicit)+len(m))
+		for k, v := range o.explicit {
+			merged[k] = v
+		}
+		for k, v := range m {
+			merged[k] = v
+		}
+		o.explicit = merged
+	}}
+}
+
+// WithUniformFormat assigns one format to every intermediate of the plan
+// (randomly accessed columns fall back to static BP). Applies to Prepare.
+func WithUniformFormat(d columns.FormatDesc) Option {
+	return Option{name: "WithUniformFormat", scope: scopePrepare, apply: func(o *options) {
+		d := d
+		o.uniform = &d
+		o.costBased = false
+	}}
+}
+
+// WithCostBasedFormats selects every intermediate's format with the
+// gray-box cost model (footprint objective, §5): the plan's data
+// characteristics are profiled once at prepare time and each column's
+// format chosen from its compact profile. Applies to Prepare.
+func WithCostBasedFormats() Option {
+	return Option{name: "WithCostBasedFormats", scope: scopePrepare, apply: func(o *options) {
+		o.costBased = true
+		o.uniform = nil
+	}}
+}
+
+// WithConfig adopts a legacy Config (formats, style, specialized, AutoMorph,
+// Keep; Parallelism is ignored here — set it at NewEngine or Execute).
+// Applies to Prepare; it is the bridge the deprecated free functions use.
+func WithConfig(cfg *Config) Option {
+	return Option{name: "WithConfig", scope: scopePrepare, apply: func(o *options) {
+		if cfg == nil {
+			return
+		}
+		m := make(map[string]columns.FormatDesc, len(cfg.Inter))
+		for k, v := range cfg.Inter {
+			m[k] = v
+		}
+		o.explicit = m
+		o.uniform = nil
+		o.costBased = false
+		o.style = cfg.Style
+		o.specialized = cfg.Specialized
+		o.autoMorph = cfg.AutoMorph
+		o.keep = cfg.Keep
+	}}
+}
+
+// WithOutput sets the output format of a one-off operator call (every
+// output of dual-output operators). Applies to operator calls.
+func WithOutput(d columns.FormatDesc) Option {
+	return Option{name: "WithOutput", scope: scopeOp,
+		apply: func(o *options) { o.output = []columns.FormatDesc{d} }}
+}
+
+// WithOutputs sets the two output formats of a dual-output operator call
+// (JoinN1: probe positions, build positions). Applies to operator calls.
+func WithOutputs(first, second columns.FormatDesc) Option {
+	return Option{name: "WithOutputs", scope: scopeOp,
+		apply: func(o *options) { o.output = []columns.FormatDesc{first, second} }}
+}
+
+// outputDesc returns the bound output format of output i of a one-off
+// operator call; outputs default to uncompressed.
+func (o *options) outputDesc(i int) columns.FormatDesc {
+	switch {
+	case len(o.output) == 0:
+		return columns.UncomprDesc
+	case i < len(o.output):
+		return o.output[i]
+	default:
+		return o.output[0]
+	}
+}
+
+// Engine owns a database, an engine-wide worker budget shared
+// deterministically by every concurrently executing query and one-off
+// operator call, and an optional admission gate. It is safe for concurrent
+// use; all its state is fixed at construction.
+type Engine struct {
+	db     *DB
+	budget *ops.Budget
+	admit  chan struct{}
+	defs   options
+	err    error
+}
+
+// NewEngine returns an engine over db. Options set engine-wide defaults
+// (WithStyle, WithSpecialized, WithAutoMorph), the worker budget
+// (WithParallelism: 0 = GOMAXPROCS), and the admission gate
+// (WithMaxConcurrentQueries). A misplaced option is reported by the first
+// Prepare/operator call.
+func NewEngine(db *DB, o ...Option) *Engine {
+	if db == nil {
+		db = NewDB()
+	}
+	defs, err := options{style: vector.Scalar}.merged(scopeEngine, o)
+	e := &Engine{db: db, budget: ops.NewBudget(defs.par), defs: defs, err: err}
+	if defs.maxQueries > 0 {
+		e.admit = make(chan struct{}, defs.maxQueries)
+	}
+	// Query/operator layers interpret par as their own cap; the engine-level
+	// value has been consumed by the budget.
+	e.defs.par = 0
+	return e
+}
+
+// DB returns the engine's database.
+func (e *Engine) DB() *DB { return e.db }
+
+// Budget returns the engine's total worker budget.
+func (e *Engine) Budget() int { return e.budget.Total() }
+
+// Prepared is a plan compiled against one engine: formats resolved, every
+// node bound to a physical operator. It is immutable and safe for
+// concurrent Execute calls from many goroutines.
+type Prepared struct {
+	e     *Engine
+	p     *Plan
+	opt   options
+	bound []boundNode
+	sinks map[string]bool
+}
+
+// Prepare compiles the plan once against the engine's database: per-column
+// formats are resolved (explicit WithFormat/WithFormats, WithUniformFormat,
+// or WithCostBasedFormats; explicit entries win), morph insertions and
+// specialized-kernel dispatch are fixed, and configuration errors surface
+// here rather than mid-execution.
+func (e *Engine) Prepare(p *Plan, o ...Option) (*Prepared, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("core: nil plan")
+	}
+	opt, err := e.defs.merged(scopePrepare, o)
+	if err != nil {
+		return nil, err
+	}
+	if opt.inter, err = e.resolveFormats(p, &opt); err != nil {
+		return nil, err
+	}
+	sinks := p.sinkSet()
+	for name := range sinks {
+		if d, ok := opt.inter[name]; ok && d.Kind != columns.Uncompressed {
+			return nil, fmt.Errorf("core: result column %q must stay uncompressed, configured %v", name, d)
+		}
+	}
+	c := &compiler{p: p, db: e.db, opt: &opt, sinks: sinks}
+	bound := make([]boundNode, len(p.nodes))
+	for i, n := range p.nodes {
+		if bound[i], err = c.compile(n); err != nil {
+			return nil, err
+		}
+	}
+	return &Prepared{e: e, p: p, opt: opt, bound: bound, sinks: sinks}, nil
+}
+
+// resolveFormats materializes the per-column format map of one preparation.
+func (e *Engine) resolveFormats(p *Plan, opt *options) (map[string]columns.FormatDesc, error) {
+	inter := make(map[string]columns.FormatDesc)
+	switch {
+	case opt.costBased:
+		a, err := CostBasedAssignment(p, e.db)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range a.Inter {
+			inter[k] = v
+		}
+	case opt.uniform != nil:
+		for _, name := range p.IntermediateNames() {
+			d := *opt.uniform
+			if p.RandomAccessed(name) && !formats.HasRandomAccess(d.Kind) {
+				d = columns.StaticBPDesc(0)
+			}
+			inter[name] = d
+		}
+	}
+	for k, v := range opt.explicit {
+		inter[k] = v
+	}
+	return inter, nil
+}
+
+// Plan returns the prepared plan.
+func (pr *Prepared) Plan() *Plan { return pr.p }
+
+// Formats returns the formats bound to the plan's intermediates (a copy).
+func (pr *Prepared) Formats() map[string]columns.FormatDesc {
+	m := make(map[string]columns.FormatDesc, len(pr.opt.inter))
+	for k, v := range pr.opt.inter {
+		m[k] = v
+	}
+	return m
+}
+
+// Execute runs the prepared plan. The context cancels the execution: the
+// DAG scheduler stops dispatching operators and running morsel loops stop
+// within one morsel, returning ctx.Err(). Concurrent Execute calls from any
+// number of goroutines share the engine's worker budget deterministically
+// and produce columns byte-identical to a sequential run. Execute options:
+// WithParallelism (this query's cap), WithKeep.
+func (pr *Prepared) Execute(ctx context.Context, o ...Option) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opt, err := pr.opt.merged(scopeExec, o)
+	if err != nil {
+		return nil, err
+	}
+	e := pr.e
+	if e.admit != nil {
+		select {
+		case e.admit <- struct{}{}:
+			defer func() { <-e.admit }()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	par := opt.par
+	if par <= 0 {
+		par = e.budget.Total()
+	}
+	es := &execState{outs: make([][]*columns.Column, len(pr.p.nodes))}
+	res := &Result{
+		Cols: make(map[string]*columns.Column, len(pr.p.sinks)),
+		Meas: Measure{
+			PerOp:    make(map[string]time.Duration),
+			ColBytes: make(map[string]int),
+		},
+	}
+	if opt.keep {
+		res.Inter = make(map[string]*columns.Column)
+	}
+	if par <= 1 {
+		err = pr.runSequential(ctx, es, res, opt.keep)
+	} else {
+		err = pr.runConcurrent(ctx, es, res, opt.keep, par)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// nodeRuntime leases the node's worker share from the engine budget; the
+// returned release must be called when the node completes so the budget
+// re-divides among the operators still running.
+func (e *Engine) nodeRuntime(ctx context.Context, bn *boundNode, par int) (ops.Runtime, func()) {
+	cap := bn.parCap
+	if cap <= 0 || cap > par {
+		cap = par
+	}
+	lease := e.budget.Lease(cap)
+	return ops.RT(ctx, lease, cap), lease.Close
+}
+
+// runNode executes one bound operator under its budget lease.
+func (pr *Prepared) runNode(ctx context.Context, es *execState, bn *boundNode, par int) ([]*columns.Column, error) {
+	rt, release := pr.e.nodeRuntime(ctx, bn, par)
+	defer release()
+	produced, err := bn.run(es, rt)
+	if err != nil {
+		return nil, fmt.Errorf("core: %v %q: %w", bn.n.op, bn.n.outNames[0], err)
+	}
+	return produced, nil
+}
+
+// runSequential executes the nodes one at a time in topological order — the
+// original operator-at-a-time execution — checking the context between
+// operators.
+func (pr *Prepared) runSequential(ctx context.Context, es *execState, res *Result, keep bool) error {
+	for i := range pr.bound {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		bn := &pr.bound[i]
+		start := time.Now()
+		produced, err := pr.runNode(ctx, es, bn, 1)
+		if err != nil {
+			return err
+		}
+		es.outs[bn.n.id] = produced
+		pr.account(res, bn.n, produced, time.Since(start), keep)
+	}
+	return nil
+}
+
+// account books the footprint and runtime of one completed node into the
+// result. In the concurrent execution the scheduler serializes calls.
+func (pr *Prepared) account(res *Result, n *Node, produced []*columns.Column, elapsed time.Duration, keep bool) {
+	if n.op != OpScan {
+		res.Meas.Runtime += elapsed
+		res.Meas.PerOp[n.op.String()] += elapsed
+	}
+	for i, col := range produced {
+		name := n.outNames[i]
+		res.Meas.ColBytes[name] = col.PhysicalBytes()
+		if n.op == OpScan {
+			res.Meas.BaseBytes += col.PhysicalBytes()
+		} else {
+			res.Meas.InterBytes += col.PhysicalBytes()
+		}
+		if keep {
+			res.Inter[name] = col
+		}
+		if pr.sinks[name] {
+			res.Cols[name] = col
+		}
+	}
+}

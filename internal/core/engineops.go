@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+
+	"morphstore/internal/bitutil"
+	"morphstore/internal/columns"
+	"morphstore/internal/ops"
+)
+
+// This file implements the engine's one-off operator calls: the
+// option-based replacement for the facade's positional free functions
+// (Select(in, op, val, out, style) and friends). Each call runs under the
+// engine's shared worker budget — a lease is opened for the duration, so
+// ad-hoc operators and prepared queries divide the same allowance — and
+// honours the context like a prepared execution.
+
+// opRuntime opens a budget lease for one ad-hoc operator call. cap bounds
+// the lease for inherently sequential operators (cap 1, so their unusable
+// share flows to concurrent work); cap <= 0 means the call's parallelism
+// option (default: the whole engine budget).
+func (e *Engine) opRuntime(ctx context.Context, o []Option, cap int) (options, ops.Runtime, func(), error) {
+	if e.err != nil {
+		return options{}, ops.Runtime{}, nil, e.err
+	}
+	opt, err := e.defs.merged(scopeOp, o)
+	if err != nil {
+		return options{}, ops.Runtime{}, nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	par := opt.par
+	if par <= 0 {
+		par = e.budget.Total()
+	}
+	if cap > 0 && cap < par {
+		par = cap
+	}
+	lease := e.budget.Lease(par)
+	return opt, ops.RT(ctx, lease, par), lease.Close, nil
+}
+
+// Select returns the sorted positions of elements matching `element op val`.
+// Options: WithOutput, WithStyle, WithSpecialized, WithParallelism.
+func (e *Engine) Select(ctx context.Context, in *columns.Column, op bitutil.CmpKind, val uint64, o ...Option) (*columns.Column, error) {
+	opt, rt, done, err := e.opRuntime(ctx, o, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	return rt.SelectAuto(in, op, val, opt.outputDesc(0), opt.style, opt.specialized)
+}
+
+// SelectBetween returns the sorted positions of elements in [lo, hi].
+func (e *Engine) SelectBetween(ctx context.Context, in *columns.Column, lo, hi uint64, o ...Option) (*columns.Column, error) {
+	opt, rt, done, err := e.opRuntime(ctx, o, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	return rt.SelectBetweenAuto(in, lo, hi, opt.outputDesc(0), opt.style, opt.specialized)
+}
+
+// Project gathers data values at the given positions; the data column must
+// support random access (uncompressed or static BP).
+func (e *Engine) Project(ctx context.Context, data, pos *columns.Column, o ...Option) (*columns.Column, error) {
+	opt, rt, done, err := e.opRuntime(ctx, o, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	return rt.Project(data, pos, opt.outputDesc(0), opt.style)
+}
+
+// Sum aggregates all elements of a column.
+func (e *Engine) Sum(ctx context.Context, in *columns.Column, o ...Option) (uint64, error) {
+	opt, rt, done, err := e.opRuntime(ctx, o, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer done()
+	s, _, err := rt.SumAuto(in, opt.style, opt.specialized)
+	return s, err
+}
+
+// SumGrouped sums vals per group id, for group ids in [0, nGroups).
+func (e *Engine) SumGrouped(ctx context.Context, gids, vals *columns.Column, nGroups int, o ...Option) (*columns.Column, error) {
+	opt, rt, done, err := e.opRuntime(ctx, o, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	return rt.SumGrouped(gids, vals, nGroups, opt.style)
+}
+
+// SemiJoin emits probe positions whose key occurs in build.
+func (e *Engine) SemiJoin(ctx context.Context, probe, build *columns.Column, o ...Option) (*columns.Column, error) {
+	opt, rt, done, err := e.opRuntime(ctx, o, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	return rt.SemiJoin(probe, build, opt.outputDesc(0), opt.style)
+}
+
+// JoinN1 equi-joins a probe-side key column against a build-side key column
+// with unique values, returning the matching probe positions and, aligned
+// with them, the joined build positions (WithOutputs sets their formats).
+func (e *Engine) JoinN1(ctx context.Context, probe, build *columns.Column, o ...Option) (probePos, buildPos *columns.Column, err error) {
+	opt, rt, done, err := e.opRuntime(ctx, o, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer done()
+	return rt.JoinN1(probe, build, opt.outputDesc(0), opt.outputDesc(1), opt.style)
+}
+
+// Calc combines two equal-length columns element-wise.
+func (e *Engine) Calc(ctx context.Context, op ops.CalcKind, a, b *columns.Column, o ...Option) (*columns.Column, error) {
+	opt, rt, done, err := e.opRuntime(ctx, o, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	return rt.CalcBinary(op, a, b, opt.outputDesc(0), opt.style)
+}
+
+// Intersect intersects two sorted position lists. The merge is inherently
+// sequential, so the call leases a single budget slot.
+func (e *Engine) Intersect(ctx context.Context, a, b *columns.Column, o ...Option) (*columns.Column, error) {
+	opt, rt, done, err := e.opRuntime(ctx, o, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	if err := rt.Err(); err != nil {
+		return nil, err
+	}
+	return ops.IntersectSorted(a, b, opt.outputDesc(0))
+}
+
+// Union merges two sorted position lists without duplicates. The merge is
+// inherently sequential, so the call leases a single budget slot.
+func (e *Engine) Union(ctx context.Context, a, b *columns.Column, o ...Option) (*columns.Column, error) {
+	opt, rt, done, err := e.opRuntime(ctx, o, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	if err := rt.Err(); err != nil {
+		return nil, err
+	}
+	return ops.MergeSorted(a, b, opt.outputDesc(0))
+}

@@ -1,14 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"time"
 
 	"morphstore/internal/columns"
 	"morphstore/internal/formats"
 	"morphstore/internal/morph"
-	"morphstore/internal/ops"
 	"morphstore/internal/vector"
 )
 
@@ -76,6 +75,11 @@ func (db *DB) Encode(base map[string]columns.FormatDesc) (*DB, error) {
 // Config assigns a compressed format to every column of a query execution
 // plan (DP2: each intermediate chosen independently). Missing entries mean
 // uncompressed. Result columns are always uncompressed.
+//
+// Config is the legacy configuration carrier of the deprecated Execute
+// wrapper; the engine API expresses the same choices as functional options
+// (WithFormats, WithStyle, WithSpecialized, WithAutoMorph, WithKeep,
+// WithParallelism).
 type Config struct {
 	// Inter maps intermediate column names to formats.
 	Inter map[string]columns.FormatDesc
@@ -91,17 +95,16 @@ type Config struct {
 	// Keep retains all intermediate columns in the result (used by the
 	// format-search and cost-model tooling).
 	Keep bool
-	// Parallelism is the executor's worker-goroutine budget: independent
-	// plan operators run concurrently on a dependency-counting scheduler,
-	// and the partitionable operator kernels (select, between, project,
+	// Parallelism is the worker-goroutine budget: independent plan
+	// operators run concurrently on a dependency-counting scheduler, and
+	// the partitionable operator kernels (select, between, project,
 	// semijoin probe, N:1 join probe, binary calc, whole-column and grouped
-	// sum) run morsel-parallel over block-aligned sections
-	// of their input, with the budget divided among the operators running
-	// at any moment (an operator keeps its initial share until it
-	// finishes, so brief overshoot is possible when branches join it).
-	// 0 means GOMAXPROCS; 1 reproduces the sequential operator-at-a-time
-	// execution exactly. Results are byte-identical at every parallelism
-	// level.
+	// sum) run morsel-parallel over block-aligned sections of their input.
+	// The budget is divided among the operators running at any moment and
+	// re-divided whenever one of them finishes, so a finishing branch's
+	// workers immediately flow to the survivors. 0 means GOMAXPROCS; 1
+	// reproduces the sequential operator-at-a-time execution exactly.
+	// Results are byte-identical at every parallelism level.
 	Parallelism int
 }
 
@@ -124,14 +127,6 @@ func UniformConfig(p *Plan, desc columns.FormatDesc, style vector.Style) *Config
 	return cfg
 }
 
-// interDesc resolves the configured format of an intermediate.
-func (c *Config) interDesc(name string) columns.FormatDesc {
-	if d, ok := c.Inter[name]; ok {
-		return d
-	}
-	return columns.UncomprDesc
-}
-
 // Measure aggregates the physical footprint and runtime of one execution,
 // mirroring the paper's two evaluation metrics.
 type Measure struct {
@@ -141,7 +136,7 @@ type Measure struct {
 	// (including result columns).
 	InterBytes int
 	// Runtime is the total operator time (base encoding excluded). Under a
-	// concurrent execution (Config.Parallelism > 1) it is the sum of the
+	// concurrent execution (parallelism > 1) it is the sum of the
 	// individual operator times and can exceed the wall-clock time.
 	Runtime time.Duration
 	// PerOp records the runtime per operator kind.
@@ -157,270 +152,31 @@ func (m *Measure) Footprint() int { return m.BaseBytes + m.InterBytes }
 type Result struct {
 	// Cols holds the result columns by name.
 	Cols map[string]*columns.Column
-	// Inter holds every materialized column by name when Config.Keep is set.
+	// Inter holds every materialized column by name when keeping
+	// intermediates (Config.Keep / WithKeep).
 	Inter map[string]*columns.Column
 	// Meas carries the footprint/runtime accounting.
 	Meas Measure
 }
 
-// executor carries the shared state of one plan execution: the plan, the
-// configuration, the per-node output slots, and the accumulating result.
-type executor struct {
-	p     *Plan
-	db    *DB
-	cfg   *Config
-	par   int // effective worker budget (>= 1)
-	sinks map[string]bool
-	outs  [][]*columns.Column
-	res   *Result
-}
-
-// Execute runs the plan operator-at-a-time against db under cfg. With
-// cfg.Parallelism <= 1 the nodes run sequentially in topological order;
-// otherwise independent nodes run concurrently and partitionable kernels run
-// morsel-parallel, producing byte-identical columns either way.
+// Execute runs the plan operator-at-a-time against db under cfg by
+// preparing it on a throwaway engine. With cfg.Parallelism <= 1 the nodes
+// run sequentially in topological order; otherwise independent nodes run
+// concurrently and partitionable kernels run morsel-parallel, producing
+// byte-identical columns either way.
+//
+// Deprecated: Use NewEngine(db, ...), Engine.Prepare, and Prepared.Execute:
+// they compile the plan once, accept a context for cancellation, and share
+// one worker budget across concurrent queries. Execute remains as a thin
+// wrapper for existing call sites.
 func Execute(p *Plan, db *DB, cfg *Config) (*Result, error) {
 	if cfg == nil {
 		cfg = UncompressedConfig(vector.Scalar)
 	}
-	sinks := p.sinkSet()
-	for name := range sinks {
-		if d, ok := cfg.Inter[name]; ok && d.Kind != columns.Uncompressed {
-			return nil, fmt.Errorf("core: result column %q must stay uncompressed, configured %v", name, d)
-		}
-	}
-	par := cfg.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	e := &executor{
-		p:     p,
-		db:    db,
-		cfg:   cfg,
-		par:   par,
-		sinks: sinks,
-		outs:  make([][]*columns.Column, len(p.nodes)),
-		res: &Result{
-			Cols: make(map[string]*columns.Column, len(p.sinks)),
-			Meas: Measure{
-				PerOp:    make(map[string]time.Duration),
-				ColBytes: make(map[string]int),
-			},
-		},
-	}
-	if cfg.Keep {
-		e.res.Inter = make(map[string]*columns.Column)
-	}
-	var err error
-	if par <= 1 {
-		err = e.runSequential()
-	} else {
-		err = e.runConcurrent()
-	}
+	e := NewEngine(db, WithParallelism(cfg.Parallelism))
+	pr, err := e.Prepare(p, WithConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
-	return e.res, nil
-}
-
-// runSequential executes the nodes one at a time in topological order — the
-// original operator-at-a-time execution. The single running operator gets
-// the whole morsel budget.
-func (e *executor) runSequential() error {
-	for _, n := range e.p.nodes {
-		start := time.Now()
-		produced, err := e.runNode(n, e.par)
-		if err != nil {
-			return err
-		}
-		e.outs[n.id] = produced
-		e.account(n, produced, time.Since(start))
-	}
-	return nil
-}
-
-// outDesc returns the format for a node output, honouring the result-column
-// rule and the random-access restriction.
-func (e *executor) outDesc(name string) (columns.FormatDesc, error) {
-	if e.sinks[name] {
-		if d, ok := e.cfg.Inter[name]; ok && d.Kind != columns.Uncompressed {
-			return columns.FormatDesc{}, fmt.Errorf("core: result column %q must stay uncompressed, configured %v", name, d)
-		}
-		return columns.UncomprDesc, nil
-	}
-	d := e.cfg.interDesc(name)
-	if e.p.RandomAccessed(name) && !formats.HasRandomAccess(d.Kind) && !e.cfg.AutoMorph {
-		return columns.FormatDesc{}, fmt.Errorf("core: column %q needs random access but is configured %v (enable AutoMorph or choose uncompressed/static BP)", name, d)
-	}
-	return d, nil
-}
-
-// input resolves a node input column. The producing node is always complete
-// before its consumers are scheduled.
-func (e *executor) input(ref ColRef) *columns.Column { return e.outs[ref.node.id][ref.out] }
-
-// randomInput fetches a project data input, inserting an on-the-fly morph to
-// static BP if permitted and needed.
-func (e *executor) randomInput(ref ColRef) (*columns.Column, error) {
-	col := e.input(ref)
-	if formats.HasRandomAccess(col.Desc().Kind) {
-		return col, nil
-	}
-	if !e.cfg.AutoMorph {
-		return nil, fmt.Errorf("core: column %q needs random access but is %v", ref.Name(), col.Desc())
-	}
-	return morph.Morph(col, columns.StaticBPDesc(0))
-}
-
-// runNode executes one plan operator with the given morsel-parallelism
-// budget and returns its output columns. It only reads the executor state
-// and the already-complete outputs of the node's inputs, so distinct nodes
-// can run on distinct goroutines.
-func (e *executor) runNode(n *Node, par int) ([]*columns.Column, error) {
-	cfg := e.cfg
-	var produced []*columns.Column
-	var err error
-	switch n.op {
-	case OpScan:
-		col, cerr := e.db.Column(n.table, n.column)
-		if cerr != nil {
-			return nil, cerr
-		}
-		produced = []*columns.Column{col}
-	case OpSelect:
-		d, derr := e.outDesc(n.outNames[0])
-		if derr != nil {
-			return nil, derr
-		}
-		var c *columns.Column
-		c, err = ops.ParSelectAuto(e.input(n.inputs[0]), n.cmp, n.val, d, cfg.Style, cfg.Specialized, par)
-		produced = []*columns.Column{c}
-	case OpBetween:
-		d, derr := e.outDesc(n.outNames[0])
-		if derr != nil {
-			return nil, derr
-		}
-		var c *columns.Column
-		c, err = ops.ParSelectBetweenAuto(e.input(n.inputs[0]), n.val, n.val2, d, cfg.Style, cfg.Specialized, par)
-		produced = []*columns.Column{c}
-	case OpProject:
-		d, derr := e.outDesc(n.outNames[0])
-		if derr != nil {
-			return nil, derr
-		}
-		data, rerr := e.randomInput(n.inputs[0])
-		if rerr != nil {
-			return nil, rerr
-		}
-		var c *columns.Column
-		c, err = ops.ParProject(data, e.input(n.inputs[1]), d, cfg.Style, par)
-		produced = []*columns.Column{c}
-	case OpIntersect:
-		d, derr := e.outDesc(n.outNames[0])
-		if derr != nil {
-			return nil, derr
-		}
-		var c *columns.Column
-		c, err = ops.IntersectSorted(e.input(n.inputs[0]), e.input(n.inputs[1]), d)
-		produced = []*columns.Column{c}
-	case OpMerge:
-		d, derr := e.outDesc(n.outNames[0])
-		if derr != nil {
-			return nil, derr
-		}
-		var c *columns.Column
-		c, err = ops.MergeSorted(e.input(n.inputs[0]), e.input(n.inputs[1]), d)
-		produced = []*columns.Column{c}
-	case OpSemiJoin:
-		d, derr := e.outDesc(n.outNames[0])
-		if derr != nil {
-			return nil, derr
-		}
-		var c *columns.Column
-		c, err = ops.ParSemiJoin(e.input(n.inputs[0]), e.input(n.inputs[1]), d, cfg.Style, par)
-		produced = []*columns.Column{c}
-	case OpJoinN1:
-		dp, derr := e.outDesc(n.outNames[0])
-		if derr != nil {
-			return nil, derr
-		}
-		db2, derr := e.outDesc(n.outNames[1])
-		if derr != nil {
-			return nil, derr
-		}
-		var cp, cb *columns.Column
-		cp, cb, err = ops.ParJoinN1(e.input(n.inputs[0]), e.input(n.inputs[1]), dp, db2, cfg.Style, par)
-		produced = []*columns.Column{cp, cb}
-	case OpGroupFirst:
-		dg, derr := e.outDesc(n.outNames[0])
-		if derr != nil {
-			return nil, derr
-		}
-		de, derr := e.outDesc(n.outNames[1])
-		if derr != nil {
-			return nil, derr
-		}
-		var cg, ce *columns.Column
-		cg, ce, err = ops.GroupFirst(e.input(n.inputs[0]), dg, de, cfg.Style)
-		produced = []*columns.Column{cg, ce}
-	case OpGroupNext:
-		dg, derr := e.outDesc(n.outNames[0])
-		if derr != nil {
-			return nil, derr
-		}
-		de, derr := e.outDesc(n.outNames[1])
-		if derr != nil {
-			return nil, derr
-		}
-		var cg, ce *columns.Column
-		cg, ce, err = ops.GroupNext(e.input(n.inputs[0]), e.input(n.inputs[1]), dg, de, cfg.Style)
-		produced = []*columns.Column{cg, ce}
-	case OpSumWhole:
-		var c *columns.Column
-		_, c, err = ops.ParSumAuto(e.input(n.inputs[0]), cfg.Style, cfg.Specialized, par)
-		produced = []*columns.Column{c}
-	case OpSumGrouped:
-		nGroups := e.input(n.inputs[1]).N()
-		var c *columns.Column
-		c, err = ops.ParSumGrouped(e.input(n.inputs[0]), e.input(n.inputs[2]), nGroups, cfg.Style, par)
-		produced = []*columns.Column{c}
-	case OpCalc:
-		d, derr := e.outDesc(n.outNames[0])
-		if derr != nil {
-			return nil, derr
-		}
-		var c *columns.Column
-		c, err = ops.ParCalcBinary(n.calc, e.input(n.inputs[0]), e.input(n.inputs[1]), d, cfg.Style, par)
-		produced = []*columns.Column{c}
-	default:
-		return nil, fmt.Errorf("core: unknown operator %v", n.op)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("core: %v %q: %w", n.op, n.outNames[0], err)
-	}
-	return produced, nil
-}
-
-// account books the footprint and runtime of one completed node into the
-// result. In the concurrent execution the scheduler serializes calls.
-func (e *executor) account(n *Node, produced []*columns.Column, elapsed time.Duration) {
-	if n.op != OpScan {
-		e.res.Meas.Runtime += elapsed
-		e.res.Meas.PerOp[n.op.String()] += elapsed
-	}
-	for i, col := range produced {
-		name := n.outNames[i]
-		e.res.Meas.ColBytes[name] = col.PhysicalBytes()
-		if n.op == OpScan {
-			e.res.Meas.BaseBytes += col.PhysicalBytes()
-		} else {
-			e.res.Meas.InterBytes += col.PhysicalBytes()
-		}
-		if e.cfg.Keep {
-			e.res.Inter[name] = col
-		}
-		if e.sinks[name] {
-			e.res.Cols[name] = col
-		}
-	}
+	return pr.Execute(context.Background())
 }

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+
+	"morphstore/internal/columns"
+	"morphstore/internal/formats"
+	"morphstore/internal/morph"
+	"morphstore/internal/ops"
+)
+
+// This file implements the physical-operator compilation step behind
+// Engine.Prepare: every plan node is bound once — per-column output formats
+// resolved, on-the-fly morph insertions decided, base columns fetched from
+// the database, and the kernel dispatch (generic morsel drivers vs
+// specialized direct operators) fixed — into one physOp closure with a
+// uniform signature. Execution then just walks the bound operators; the
+// per-execution runNode type switch of the pre-engine executor is gone.
+//
+// All decisions that depend only on the plan, the configuration, and the
+// database schema happen here, so configuration errors (a compressed result
+// column, a random-access consumer of a non-random-access format without
+// AutoMorph, an unknown base column) surface at prepare time, before any
+// data is touched.
+
+// physOp runs one bound plan operator: it reads the already-complete outputs
+// of its inputs from the execution state and returns its own output columns.
+// Implementations only read bound data and the runtime, so one physOp can
+// run on any goroutine and concurrently across executions of the same
+// prepared plan.
+type physOp func(es *execState, rt ops.Runtime) ([]*columns.Column, error)
+
+// boundNode pairs a plan node with its compiled physical operator.
+type boundNode struct {
+	n *Node
+	// parCap caps the morsel parallelism of the operator: 1 for inherently
+	// sequential operators (scan, intersect, merge, grouping), 0 for the
+	// partitionable kernels (bounded only by the per-query parallelism).
+	parCap int
+	run    physOp
+}
+
+// execState is the mutable state of one plan execution: the per-node output
+// slots. The scheduler publishes a node's outputs before any dependent is
+// popped, which establishes the happens-before edge for readers.
+type execState struct {
+	outs [][]*columns.Column
+}
+
+// in resolves a bound input reference against the execution state.
+func (es *execState) in(ref ColRef) *columns.Column { return es.outs[ref.node.id][ref.out] }
+
+// compiler carries the immutable context of one Prepare call.
+type compiler struct {
+	p     *Plan
+	db    *DB
+	opt   *options
+	sinks map[string]bool
+}
+
+// outDesc resolves the format a node output materializes in, honouring the
+// result-column rule (sinks stay uncompressed) and the random-access
+// restriction (§4.2).
+func (c *compiler) outDesc(name string) (columns.FormatDesc, error) {
+	if c.sinks[name] {
+		if d, ok := c.opt.inter[name]; ok && d.Kind != columns.Uncompressed {
+			return columns.FormatDesc{}, fmt.Errorf("core: result column %q must stay uncompressed, configured %v", name, d)
+		}
+		return columns.UncomprDesc, nil
+	}
+	d, ok := c.opt.inter[name]
+	if !ok {
+		d = columns.UncomprDesc
+	}
+	if c.p.RandomAccessed(name) && !formats.HasRandomAccess(d.Kind) && !c.opt.autoMorph {
+		return columns.FormatDesc{}, fmt.Errorf("core: column %q needs random access but is configured %v (enable AutoMorph or choose uncompressed/static BP)", name, d)
+	}
+	return d, nil
+}
+
+// inputDesc resolves the format the referenced column materializes in: the
+// stored format for base columns, the configured format for intermediates,
+// uncompressed for result columns.
+func (c *compiler) inputDesc(ref ColRef) (columns.FormatDesc, error) {
+	if ref.node.op == OpScan {
+		col, err := c.db.Column(ref.node.table, ref.node.column)
+		if err != nil {
+			return columns.FormatDesc{}, err
+		}
+		return col.Desc(), nil
+	}
+	if c.sinks[ref.Name()] {
+		return columns.UncomprDesc, nil
+	}
+	if d, ok := c.opt.inter[ref.Name()]; ok {
+		return d, nil
+	}
+	return columns.UncomprDesc, nil
+}
+
+// randomInput binds a project data input: if the column's bound format lacks
+// random access, an on-the-fly morph to static BP is compiled in (AutoMorph)
+// or the preparation fails (strict consistency, §3.3).
+func (c *compiler) randomInput(ref ColRef) (func(es *execState) (*columns.Column, error), error) {
+	d, err := c.inputDesc(ref)
+	if err != nil {
+		return nil, err
+	}
+	if formats.HasRandomAccess(d.Kind) {
+		return func(es *execState) (*columns.Column, error) { return es.in(ref), nil }, nil
+	}
+	if !c.opt.autoMorph {
+		return nil, fmt.Errorf("core: column %q needs random access but is %v (enable AutoMorph or choose uncompressed/static BP)", ref.Name(), d)
+	}
+	return func(es *execState) (*columns.Column, error) {
+		return morph.Morph(es.in(ref), columns.StaticBPDesc(0))
+	}, nil
+}
+
+// compile binds one plan node into its physical operator.
+func (c *compiler) compile(n *Node) (boundNode, error) {
+	style, specialized := c.opt.style, c.opt.specialized
+	one := func(col *columns.Column, err error) ([]*columns.Column, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []*columns.Column{col}, nil
+	}
+	switch n.op {
+	case OpScan:
+		col, err := c.db.Column(n.table, n.column)
+		if err != nil {
+			return boundNode{}, err
+		}
+		return boundNode{n: n, parCap: 1, run: func(*execState, ops.Runtime) ([]*columns.Column, error) {
+			return []*columns.Column{col}, nil
+		}}, nil
+	case OpSelect:
+		d, err := c.outDesc(n.outNames[0])
+		if err != nil {
+			return boundNode{}, err
+		}
+		in, cmp, val := n.inputs[0], n.cmp, n.val
+		return boundNode{n: n, run: func(es *execState, rt ops.Runtime) ([]*columns.Column, error) {
+			return one(rt.SelectAuto(es.in(in), cmp, val, d, style, specialized))
+		}}, nil
+	case OpBetween:
+		d, err := c.outDesc(n.outNames[0])
+		if err != nil {
+			return boundNode{}, err
+		}
+		in, lo, hi := n.inputs[0], n.val, n.val2
+		return boundNode{n: n, run: func(es *execState, rt ops.Runtime) ([]*columns.Column, error) {
+			return one(rt.SelectBetweenAuto(es.in(in), lo, hi, d, style, specialized))
+		}}, nil
+	case OpProject:
+		d, err := c.outDesc(n.outNames[0])
+		if err != nil {
+			return boundNode{}, err
+		}
+		data, err := c.randomInput(n.inputs[0])
+		if err != nil {
+			return boundNode{}, err
+		}
+		pos := n.inputs[1]
+		return boundNode{n: n, run: func(es *execState, rt ops.Runtime) ([]*columns.Column, error) {
+			dcol, err := data(es)
+			if err != nil {
+				return nil, err
+			}
+			return one(rt.Project(dcol, es.in(pos), d, style))
+		}}, nil
+	case OpIntersect:
+		d, err := c.outDesc(n.outNames[0])
+		if err != nil {
+			return boundNode{}, err
+		}
+		x, y := n.inputs[0], n.inputs[1]
+		return boundNode{n: n, parCap: 1, run: func(es *execState, _ ops.Runtime) ([]*columns.Column, error) {
+			return one(ops.IntersectSorted(es.in(x), es.in(y), d))
+		}}, nil
+	case OpMerge:
+		d, err := c.outDesc(n.outNames[0])
+		if err != nil {
+			return boundNode{}, err
+		}
+		x, y := n.inputs[0], n.inputs[1]
+		return boundNode{n: n, parCap: 1, run: func(es *execState, _ ops.Runtime) ([]*columns.Column, error) {
+			return one(ops.MergeSorted(es.in(x), es.in(y), d))
+		}}, nil
+	case OpSemiJoin:
+		d, err := c.outDesc(n.outNames[0])
+		if err != nil {
+			return boundNode{}, err
+		}
+		probe, build := n.inputs[0], n.inputs[1]
+		return boundNode{n: n, run: func(es *execState, rt ops.Runtime) ([]*columns.Column, error) {
+			return one(rt.SemiJoin(es.in(probe), es.in(build), d, style))
+		}}, nil
+	case OpJoinN1:
+		dp, err := c.outDesc(n.outNames[0])
+		if err != nil {
+			return boundNode{}, err
+		}
+		db2, err := c.outDesc(n.outNames[1])
+		if err != nil {
+			return boundNode{}, err
+		}
+		probe, build := n.inputs[0], n.inputs[1]
+		return boundNode{n: n, run: func(es *execState, rt ops.Runtime) ([]*columns.Column, error) {
+			cp, cb, err := rt.JoinN1(es.in(probe), es.in(build), dp, db2, style)
+			if err != nil {
+				return nil, err
+			}
+			return []*columns.Column{cp, cb}, nil
+		}}, nil
+	case OpGroupFirst:
+		dg, err := c.outDesc(n.outNames[0])
+		if err != nil {
+			return boundNode{}, err
+		}
+		de, err := c.outDesc(n.outNames[1])
+		if err != nil {
+			return boundNode{}, err
+		}
+		keys := n.inputs[0]
+		return boundNode{n: n, parCap: 1, run: func(es *execState, _ ops.Runtime) ([]*columns.Column, error) {
+			cg, ce, err := ops.GroupFirst(es.in(keys), dg, de, style)
+			if err != nil {
+				return nil, err
+			}
+			return []*columns.Column{cg, ce}, nil
+		}}, nil
+	case OpGroupNext:
+		dg, err := c.outDesc(n.outNames[0])
+		if err != nil {
+			return boundNode{}, err
+		}
+		de, err := c.outDesc(n.outNames[1])
+		if err != nil {
+			return boundNode{}, err
+		}
+		prev, keys := n.inputs[0], n.inputs[1]
+		return boundNode{n: n, parCap: 1, run: func(es *execState, _ ops.Runtime) ([]*columns.Column, error) {
+			cg, ce, err := ops.GroupNext(es.in(prev), es.in(keys), dg, de, style)
+			if err != nil {
+				return nil, err
+			}
+			return []*columns.Column{cg, ce}, nil
+		}}, nil
+	case OpSumWhole:
+		in := n.inputs[0]
+		return boundNode{n: n, run: func(es *execState, rt ops.Runtime) ([]*columns.Column, error) {
+			_, col, err := rt.SumAuto(es.in(in), style, specialized)
+			return one(col, err)
+		}}, nil
+	case OpSumGrouped:
+		gids, extents, vals := n.inputs[0], n.inputs[1], n.inputs[2]
+		return boundNode{n: n, run: func(es *execState, rt ops.Runtime) ([]*columns.Column, error) {
+			nGroups := es.in(extents).N()
+			return one(rt.SumGrouped(es.in(gids), es.in(vals), nGroups, style))
+		}}, nil
+	case OpCalc:
+		d, err := c.outDesc(n.outNames[0])
+		if err != nil {
+			return boundNode{}, err
+		}
+		op, x, y := n.calc, n.inputs[0], n.inputs[1]
+		return boundNode{n: n, run: func(es *execState, rt ops.Runtime) ([]*columns.Column, error) {
+			return one(rt.CalcBinary(op, es.in(x), es.in(y), d, style))
+		}}, nil
+	default:
+		return boundNode{}, fmt.Errorf("core: unknown operator %v", n.op)
+	}
+}

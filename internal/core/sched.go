@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -12,12 +13,24 @@ import (
 // fully materialized inputs (operator-at-a-time semantics are preserved, so
 // the produced columns are byte-identical to the sequential execution).
 //
-// Synchronization model: a node's outputs (executor.outs) are written by the
-// worker that ran it and published under the scheduler mutex when its
+// Worker-budget sharing is no longer the scheduler's job: every running
+// operator holds a lease on the engine-wide ops.Budget (see runNode), which
+// re-divides the allowance whenever an operator — of this query or of any
+// concurrently executing query — starts or finishes. A lone operator ramps
+// up to the whole budget the moment its siblings complete instead of
+// keeping its initial share.
+//
+// Synchronization model: a node's outputs (execState.outs) are written by
+// the worker that ran it and published under the scheduler mutex when its
 // dependents' counters are decremented; a dependent is only popped from the
 // ready queue under the same mutex, which establishes the happens-before
 // edge for the outputs it reads. Result accounting happens under the mutex
 // too, keeping the Measure maps race-free.
+//
+// Cancellation: a watcher goroutine flips the scheduler to done when the
+// context fires, so idle workers return immediately; workers running an
+// operator notice the cancellation inside the morsel loops (within one
+// morsel) and surface ctx.Err() through the node result.
 
 // sched is the mutable scheduler state, guarded by mu.
 type sched struct {
@@ -26,7 +39,6 @@ type sched struct {
 	queue      []int   // node ids ready to run
 	deps       []int   // open dependency count per node
 	dependents [][]int // node ids waiting on each node
-	inflight   int     // nodes currently executing
 	completed  int
 	total      int
 	err        error
@@ -34,15 +46,15 @@ type sched struct {
 }
 
 // runConcurrent executes the plan DAG on min(par, nodes) workers.
-func (e *executor) runConcurrent() error {
-	total := len(e.p.nodes)
+func (pr *Prepared) runConcurrent(ctx context.Context, es *execState, res *Result, keep bool, par int) error {
+	total := len(pr.p.nodes)
 	s := &sched{
 		deps:       make([]int, total),
 		dependents: make([][]int, total),
 		total:      total,
 	}
 	s.cond = sync.NewCond(&s.mu)
-	for _, n := range e.p.nodes {
+	for _, n := range pr.p.nodes {
 		seen := make(map[int]bool, len(n.inputs))
 		for _, in := range n.inputs {
 			id := in.node.id
@@ -58,16 +70,33 @@ func (e *executor) runConcurrent() error {
 			s.queue = append(s.queue, id)
 		}
 	}
-	workers := e.par
-	if workers > total {
-		workers = total
-	}
+
+	// The watcher turns a context cancellation into a scheduler wake-up so
+	// workers parked on the condition variable return promptly.
+	watchDone := make(chan struct{})
+	stop := context.AfterFunc(ctx, func() {
+		defer close(watchDone)
+		s.mu.Lock()
+		if s.err == nil && !s.done {
+			s.err = ctx.Err()
+			s.done = true
+			s.cond.Broadcast()
+		}
+		s.mu.Unlock()
+	})
+	defer func() {
+		if !stop() {
+			<-watchDone // the watcher ran; wait so it cannot outlive Execute
+		}
+	}()
+
+	workers := min(par, total)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e.schedWorker(s)
+			pr.schedWorker(ctx, s, es, res, keep, par)
 		}()
 	}
 	wg.Wait()
@@ -75,7 +104,7 @@ func (e *executor) runConcurrent() error {
 }
 
 // schedWorker pulls ready nodes until the plan completes or fails.
-func (e *executor) schedWorker(s *sched) {
+func (pr *Prepared) schedWorker(ctx context.Context, s *sched, es *execState, res *Result, keep bool, par int) {
 	for {
 		s.mu.Lock()
 		for len(s.queue) == 0 && !s.done {
@@ -87,32 +116,22 @@ func (e *executor) schedWorker(s *sched) {
 		}
 		id := s.queue[len(s.queue)-1]
 		s.queue = s.queue[:len(s.queue)-1]
-		s.inflight++
-		// Share the morsel budget among the operators running right now: a
-		// lone operator (linear plan segment) gets the whole budget, while
-		// concurrent independent branches split it, keeping the total number
-		// of kernel workers near e.par instead of multiplying.
-		par := e.par / s.inflight
-		if par < 1 {
-			par = 1
-		}
 		s.mu.Unlock()
 
-		n := e.p.nodes[id]
+		bn := &pr.bound[id]
 		start := time.Now()
-		produced, err := e.runNode(n, par)
+		produced, err := pr.runNode(ctx, es, bn, par)
 		elapsed := time.Since(start)
 
 		s.mu.Lock()
-		s.inflight--
 		if err != nil {
 			if s.err == nil {
 				s.err = err
 			}
 			s.done = true
 		} else if s.err == nil {
-			e.outs[id] = produced
-			e.account(n, produced, elapsed)
+			es.outs[id] = produced
+			pr.account(res, bn.n, produced, elapsed, keep)
 			for _, d := range s.dependents[id] {
 				s.deps[d]--
 				if s.deps[d] == 0 {

@@ -2,8 +2,6 @@ package ops
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"morphstore/internal/bitutil"
 	"morphstore/internal/columns"
@@ -29,39 +27,10 @@ import (
 // every output format at every parallelism degree. Columns whose format
 // cannot be sliced (RLE), columns too small to split, and par <= 1 all fall
 // back to the sequential operator.
-
-// runParts executes fn for every partition, claimed in index order from an
-// atomic work-queue cursor by at most par worker goroutines. fn receives the
-// claiming worker's index (for reusing per-worker scratch: one worker index
-// is never active on two goroutines) and the partition's index (for
-// depositing results in deterministic partition order). The first error is
-// returned after all claimed work finishes.
-func runParts(par int, parts []formats.Partition, fn func(worker, i int, pt formats.Partition) error) error {
-	workers := workerCount(par, len(parts))
-	errs := make([]error, len(parts))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(parts) {
-					return
-				}
-				errs[i] = fn(w, i, parts[i])
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
+//
+// Every driver exists in two forms: a Runtime method (cancellation context +
+// engine budget lease threaded through the morsel loop — the path the engine
+// executes) and a legacy positional function wrapping FixedRT(par).
 
 // workerCount bounds the worker-goroutine count for a task list.
 func workerCount(par, tasks int) int {
@@ -135,14 +104,22 @@ func (s *appendSink) Close() (*columns.Column, error) {
 // work-queue morsels for up to par workers. It falls back to the sequential
 // operator when the input cannot or need not be split.
 func ParSelect(in *columns.Column, op bitutil.CmpKind, val uint64, out columns.FormatDesc, style vector.Style, par int) (*columns.Column, error) {
+	return FixedRT(par).Select(in, op, val, out, style)
+}
+
+// Select is the runtime form of ParSelect.
+func (rt Runtime) Select(in *columns.Column, op bitutil.CmpKind, val uint64, out columns.FormatDesc, style vector.Style) (*columns.Column, error) {
 	if err := checkCols(in); err != nil {
 		return nil, err
 	}
-	parts := formats.SplitColumnMorsels(in, par)
+	if err := rt.Err(); err != nil {
+		return nil, err
+	}
+	parts := formats.SplitColumnMorsels(in, rt.Par())
 	if parts == nil {
 		return Select(in, op, val, out, style)
 	}
-	return parSelect(in, parts, op, val, out, style, par)
+	return rt.parSelect(in, parts, op, val, out, style)
 }
 
 // ParSelectAuto is the morsel-parallel form of SelectAuto: when the input
@@ -151,23 +128,31 @@ func ParSelect(in *columns.Column, op bitutil.CmpKind, val uint64, out columns.F
 // generic morsel kernels otherwise; unsplittable inputs dispatch to the
 // sequential auto operator (which may itself pick a specialized kernel).
 func ParSelectAuto(in *columns.Column, op bitutil.CmpKind, val uint64, out columns.FormatDesc, style vector.Style, specialized bool, par int) (*columns.Column, error) {
+	return FixedRT(par).SelectAuto(in, op, val, out, style, specialized)
+}
+
+// SelectAuto is the runtime form of ParSelectAuto.
+func (rt Runtime) SelectAuto(in *columns.Column, op bitutil.CmpKind, val uint64, out columns.FormatDesc, style vector.Style, specialized bool) (*columns.Column, error) {
 	if err := checkCols(in); err != nil {
 		return nil, err
 	}
-	parts := formats.SplitColumnMorsels(in, par)
+	if err := rt.Err(); err != nil {
+		return nil, err
+	}
+	parts := formats.SplitColumnMorsels(in, rt.Par())
 	if parts == nil {
 		return SelectAuto(in, op, val, out, style, specialized)
 	}
 	if specialized && parSwarOK(in, val) {
-		return parSelectSwar(in, parts, op, val, out, par)
+		return rt.parSelectSwar(in, parts, op, val, out)
 	}
-	return parSelect(in, parts, op, val, out, style, par)
+	return rt.parSelect(in, parts, op, val, out, style)
 }
 
-func parSelect(in *columns.Column, parts []formats.Partition, op bitutil.CmpKind, val uint64, out columns.FormatDesc, style vector.Style, par int) (*columns.Column, error) {
+func (rt Runtime) parSelect(in *columns.Column, parts []formats.Partition, op bitutil.CmpKind, val uint64, out columns.FormatDesc, style vector.Style) (*columns.Column, error) {
 	results := make([][]uint64, len(parts))
-	stages := make([][]uint64, workerCount(par, len(parts)))
-	err := runParts(par, parts, func(w, i int, pt formats.Partition) error {
+	stages := make([][]uint64, rt.workers(len(parts)))
+	err := rt.runParts(parts, func(w, i int, pt formats.Partition) error {
 		if stages[w] == nil {
 			stages[w] = make([]uint64, blockBuf)
 		}
@@ -183,42 +168,58 @@ func parSelect(in *columns.Column, parts []formats.Partition, op bitutil.CmpKind
 	if err != nil {
 		return nil, fmt.Errorf("ops: parallel select: %w", err)
 	}
-	return StitchCompressed(positionDesc(out, in.N()), in.N(), results, par)
+	return rt.stitchCompressed(positionDesc(out, in.N()), in.N(), results)
 }
 
 // ParSelectBetween is the morsel-parallel form of SelectBetween.
 func ParSelectBetween(in *columns.Column, lo, hi uint64, out columns.FormatDesc, style vector.Style, par int) (*columns.Column, error) {
+	return FixedRT(par).SelectBetween(in, lo, hi, out, style)
+}
+
+// SelectBetween is the runtime form of ParSelectBetween.
+func (rt Runtime) SelectBetween(in *columns.Column, lo, hi uint64, out columns.FormatDesc, style vector.Style) (*columns.Column, error) {
 	if err := checkCols(in); err != nil {
 		return nil, err
 	}
-	parts := formats.SplitColumnMorsels(in, par)
+	if err := rt.Err(); err != nil {
+		return nil, err
+	}
+	parts := formats.SplitColumnMorsels(in, rt.Par())
 	if parts == nil {
 		return SelectBetween(in, lo, hi, out, style)
 	}
-	return parSelectBetween(in, parts, lo, hi, out, style, par)
+	return rt.parSelectBetween(in, parts, lo, hi, out, style)
 }
 
 // ParSelectBetweenAuto is the morsel-parallel form of SelectBetweenAuto,
 // honouring the specialized SWAR range kernel inside each partition when the
 // input format admits it.
 func ParSelectBetweenAuto(in *columns.Column, lo, hi uint64, out columns.FormatDesc, style vector.Style, specialized bool, par int) (*columns.Column, error) {
+	return FixedRT(par).SelectBetweenAuto(in, lo, hi, out, style, specialized)
+}
+
+// SelectBetweenAuto is the runtime form of ParSelectBetweenAuto.
+func (rt Runtime) SelectBetweenAuto(in *columns.Column, lo, hi uint64, out columns.FormatDesc, style vector.Style, specialized bool) (*columns.Column, error) {
 	if err := checkCols(in); err != nil {
 		return nil, err
 	}
-	parts := formats.SplitColumnMorsels(in, par)
+	if err := rt.Err(); err != nil {
+		return nil, err
+	}
+	parts := formats.SplitColumnMorsels(in, rt.Par())
 	if parts == nil {
 		return SelectBetweenAuto(in, lo, hi, out, style, specialized)
 	}
 	if specialized && parSwarOK(in, lo) {
-		return parSelectBetweenSwar(in, parts, lo, hi, out, par)
+		return rt.parSelectBetweenSwar(in, parts, lo, hi, out)
 	}
-	return parSelectBetween(in, parts, lo, hi, out, style, par)
+	return rt.parSelectBetween(in, parts, lo, hi, out, style)
 }
 
-func parSelectBetween(in *columns.Column, parts []formats.Partition, lo, hi uint64, out columns.FormatDesc, style vector.Style, par int) (*columns.Column, error) {
+func (rt Runtime) parSelectBetween(in *columns.Column, parts []formats.Partition, lo, hi uint64, out columns.FormatDesc, style vector.Style) (*columns.Column, error) {
 	results := make([][]uint64, len(parts))
-	stages := make([][]uint64, workerCount(par, len(parts)))
-	err := runParts(par, parts, func(w, i int, pt formats.Partition) error {
+	stages := make([][]uint64, rt.workers(len(parts)))
+	err := rt.runParts(parts, func(w, i int, pt formats.Partition) error {
 		if stages[w] == nil {
 			stages[w] = make([]uint64, blockBuf)
 		}
@@ -234,7 +235,7 @@ func parSelectBetween(in *columns.Column, parts []formats.Partition, lo, hi uint
 	if err != nil {
 		return nil, fmt.Errorf("ops: parallel select between: %w", err)
 	}
-	return StitchCompressed(positionDesc(out, in.N()), in.N(), results, par)
+	return rt.stitchCompressed(positionDesc(out, in.N()), in.N(), results)
 }
 
 // ParProject is the morsel-parallel form of Project: the position list is
@@ -243,10 +244,18 @@ func parSelectBetween(in *columns.Column, parts []formats.Partition, lo, hi uint
 // project emits exactly one value per position), which the parallel
 // compressed stitch then recompresses section-wise.
 func ParProject(data, pos *columns.Column, out columns.FormatDesc, style vector.Style, par int) (*columns.Column, error) {
+	return FixedRT(par).Project(data, pos, out, style)
+}
+
+// Project is the runtime form of ParProject.
+func (rt Runtime) Project(data, pos *columns.Column, out columns.FormatDesc, style vector.Style) (*columns.Column, error) {
 	if err := checkCols(data, pos); err != nil {
 		return nil, err
 	}
-	parts := formats.SplitColumnMorsels(pos, par)
+	if err := rt.Err(); err != nil {
+		return nil, err
+	}
+	parts := formats.SplitColumnMorsels(pos, rt.Par())
 	if parts == nil {
 		return Project(data, pos, out, style)
 	}
@@ -257,8 +266,8 @@ func ParProject(data, pos *columns.Column, out columns.FormatDesc, style vector.
 	// claims: the static BP accessor caches the most recently decoded group
 	// and must not be shared between goroutines. The vec gather fast path
 	// reads the value slice directly instead.
-	ras := make([]formats.RandomAccessor, workerCount(par, len(parts)))
-	err := runParts(par, parts, func(w, _ int, pt formats.Partition) error {
+	ras := make([]formats.RandomAccessor, rt.workers(len(parts)))
+	err := rt.runParts(parts, func(w, _ int, pt formats.Partition) error {
 		if !useVecGather && ras[w] == nil {
 			var err error
 			ras[w], err = formats.RandomAccess(data)
@@ -290,17 +299,25 @@ func ParProject(data, pos *columns.Column, out columns.FormatDesc, style vector.
 	if err != nil {
 		return nil, fmt.Errorf("ops: parallel project: %w", err)
 	}
-	return StitchCompressed(out, pos.N(), [][]uint64{dst}, par)
+	return rt.stitchCompressed(out, pos.N(), [][]uint64{dst})
 }
 
 // ParSemiJoin is the morsel-parallel form of SemiJoin: the build-side hash
 // table is constructed once and probed read-only by all workers over
 // partitions of the probe column.
 func ParSemiJoin(probe, build *columns.Column, out columns.FormatDesc, style vector.Style, par int) (*columns.Column, error) {
+	return FixedRT(par).SemiJoin(probe, build, out, style)
+}
+
+// SemiJoin is the runtime form of ParSemiJoin.
+func (rt Runtime) SemiJoin(probe, build *columns.Column, out columns.FormatDesc, style vector.Style) (*columns.Column, error) {
 	if err := checkCols(probe, build); err != nil {
 		return nil, err
 	}
-	parts := formats.SplitColumnMorsels(probe, par)
+	if err := rt.Err(); err != nil {
+		return nil, err
+	}
+	parts := formats.SplitColumnMorsels(probe, rt.Par())
 	if parts == nil {
 		return SemiJoin(probe, build, out, style)
 	}
@@ -309,7 +326,7 @@ func ParSemiJoin(probe, build *columns.Column, out columns.FormatDesc, style vec
 		return nil, err
 	}
 	results := make([][]uint64, len(parts))
-	err = runParts(par, parts, func(_, i int, pt formats.Partition) error {
+	err = rt.runParts(parts, func(_, i int, pt formats.Partition) error {
 		local := make([]uint64, 0, pt.Count/8+16)
 		if err := streamSection(probe, pt, func(vals []uint64, base uint64) error {
 			for j, v := range vals {
@@ -327,21 +344,29 @@ func ParSemiJoin(probe, build *columns.Column, out columns.FormatDesc, style vec
 	if err != nil {
 		return nil, fmt.Errorf("ops: parallel semijoin: %w", err)
 	}
-	return StitchCompressed(positionDesc(out, probe.N()), probe.N(), results, par)
+	return rt.stitchCompressed(positionDesc(out, probe.N()), probe.N(), results)
 }
 
 // ParSum is the morsel-parallel form of SumWhole: per-partition partial sums
 // combine by modular addition, which is order-independent, so the total is
 // identical to the sequential result.
 func ParSum(in *columns.Column, style vector.Style, par int) (uint64, *columns.Column, error) {
+	return FixedRT(par).Sum(in, style)
+}
+
+// Sum is the runtime form of ParSum.
+func (rt Runtime) Sum(in *columns.Column, style vector.Style) (uint64, *columns.Column, error) {
 	if err := checkCols(in); err != nil {
 		return 0, nil, err
 	}
-	parts := formats.SplitColumnMorsels(in, par)
+	if err := rt.Err(); err != nil {
+		return 0, nil, err
+	}
+	parts := formats.SplitColumnMorsels(in, rt.Par())
 	if parts == nil {
 		return SumWhole(in, style)
 	}
-	return parSum(in, parts, style, par)
+	return rt.parSum(in, parts, style)
 }
 
 // ParSumAuto is the morsel-parallel form of SumAuto: when the input splits
@@ -350,10 +375,18 @@ func ParSum(in *columns.Column, style vector.Style, par int) (uint64, *columns.C
 // accumulation over DynBP block ranges); the generic morsel kernels handle
 // the rest.
 func ParSumAuto(in *columns.Column, style vector.Style, specialized bool, par int) (uint64, *columns.Column, error) {
+	return FixedRT(par).SumAuto(in, style, specialized)
+}
+
+// SumAuto is the runtime form of ParSumAuto.
+func (rt Runtime) SumAuto(in *columns.Column, style vector.Style, specialized bool) (uint64, *columns.Column, error) {
 	if err := checkCols(in); err != nil {
 		return 0, nil, err
 	}
-	parts := formats.SplitColumnMorsels(in, par)
+	if err := rt.Err(); err != nil {
+		return 0, nil, err
+	}
+	parts := formats.SplitColumnMorsels(in, rt.Par())
 	if parts == nil {
 		return SumAuto(in, style, specialized)
 	}
@@ -361,13 +394,13 @@ func ParSumAuto(in *columns.Column, style vector.Style, specialized bool, par in
 		switch in.Desc().Kind {
 		case columns.StaticBP:
 			if in.Desc().Bits > 0 {
-				return parSumStaticBPDirect(in, parts, par)
+				return rt.parSumStaticBPDirect(in, parts)
 			}
 		case columns.DynBP:
-			return parSumDynBPDirect(in, parts, par)
+			return rt.parSumDynBPDirect(in, parts)
 		}
 	}
-	return parSum(in, parts, style, par)
+	return rt.parSum(in, parts, style)
 }
 
 // ParJoinN1 is the morsel-parallel form of JoinN1: the build-side hash table
@@ -377,10 +410,18 @@ func ParSumAuto(in *columns.Column, style vector.Style, specialized bool, par in
 // buffers; both are stitched in partition order, so the dual outputs stay
 // aligned row for row and byte-identical to the sequential join.
 func ParJoinN1(probeKeys, buildKeys *columns.Column, outProbe, outBuild columns.FormatDesc, style vector.Style, par int) (probePos, buildPos *columns.Column, err error) {
+	return FixedRT(par).JoinN1(probeKeys, buildKeys, outProbe, outBuild, style)
+}
+
+// JoinN1 is the runtime form of ParJoinN1.
+func (rt Runtime) JoinN1(probeKeys, buildKeys *columns.Column, outProbe, outBuild columns.FormatDesc, style vector.Style) (probePos, buildPos *columns.Column, err error) {
 	if err := checkCols(probeKeys, buildKeys); err != nil {
 		return nil, nil, err
 	}
-	parts := formats.SplitColumnMorsels(probeKeys, par)
+	if err := rt.Err(); err != nil {
+		return nil, nil, err
+	}
+	parts := formats.SplitColumnMorsels(probeKeys, rt.Par())
 	if parts == nil {
 		return JoinN1(probeKeys, buildKeys, outProbe, outBuild, style)
 	}
@@ -390,7 +431,7 @@ func ParJoinN1(probeKeys, buildKeys *columns.Column, outProbe, outBuild columns.
 	}
 	resP := make([][]uint64, len(parts))
 	resB := make([][]uint64, len(parts))
-	err = runParts(par, parts, func(_, i int, pt formats.Partition) error {
+	err = rt.runParts(parts, func(_, i int, pt formats.Partition) error {
 		localP := make([]uint64, 0, pt.Count/8+16)
 		localB := make([]uint64, 0, pt.Count/8+16)
 		if err := streamSection(probeKeys, pt, func(vals []uint64, base uint64) error {
@@ -410,11 +451,11 @@ func ParJoinN1(probeKeys, buildKeys *columns.Column, outProbe, outBuild columns.
 	if err != nil {
 		return nil, nil, fmt.Errorf("ops: parallel join: %w", err)
 	}
-	probePos, err = StitchCompressed(positionDesc(outProbe, probeKeys.N()), probeKeys.N(), resP, par)
+	probePos, err = rt.stitchCompressed(positionDesc(outProbe, probeKeys.N()), probeKeys.N(), resP)
 	if err != nil {
 		return nil, nil, err
 	}
-	buildPos, err = StitchCompressed(positionDesc(outBuild, buildKeys.N()), probeKeys.N(), resB, par)
+	buildPos, err = rt.stitchCompressed(positionDesc(outBuild, buildKeys.N()), probeKeys.N(), resB)
 	return probePos, buildPos, err
 }
 
@@ -424,18 +465,26 @@ func ParJoinN1(probeKeys, buildKeys *columns.Column, outProbe, outBuild columns.
 // worker writes into its own disjoint range of one shared destination buffer,
 // which the parallel compressed stitch recompresses section-wise.
 func ParCalcBinary(op CalcKind, a, b *columns.Column, out columns.FormatDesc, style vector.Style, par int) (*columns.Column, error) {
+	return FixedRT(par).CalcBinary(op, a, b, out, style)
+}
+
+// CalcBinary is the runtime form of ParCalcBinary.
+func (rt Runtime) CalcBinary(op CalcKind, a, b *columns.Column, out columns.FormatDesc, style vector.Style) (*columns.Column, error) {
 	if err := checkCols(a, b); err != nil {
+		return nil, err
+	}
+	if err := rt.Err(); err != nil {
 		return nil, err
 	}
 	if a.N() != b.N() {
 		return nil, fmt.Errorf("ops: calc: inputs have %d and %d elements", a.N(), b.N())
 	}
-	parts := formats.SplitColumnsAlignedMorsels(a, b, par)
+	parts := formats.SplitColumnsAlignedMorsels(a, b, rt.Par())
 	if parts == nil {
 		return CalcBinary(op, a, b, out, style)
 	}
 	dst := make([]uint64, a.N())
-	err := runParts(par, parts, func(_, _ int, pt formats.Partition) error {
+	err := rt.runParts(parts, func(_, _ int, pt formats.Partition) error {
 		return streamSections(a, b, pt, func(va, vb []uint64, base uint64) error {
 			if style == vector.Vec512 {
 				calcKernelVec(op, va, vb, dst[base:])
@@ -448,7 +497,7 @@ func ParCalcBinary(op CalcKind, a, b *columns.Column, out columns.FormatDesc, st
 	if err != nil {
 		return nil, fmt.Errorf("ops: parallel calc: %w", err)
 	}
-	return StitchCompressed(out, a.N(), [][]uint64{dst}, par)
+	return rt.stitchCompressed(out, a.N(), [][]uint64{dst})
 }
 
 // ParSumGrouped is the morsel-parallel form of SumGrouped: group ids and
@@ -461,7 +510,15 @@ func ParCalcBinary(op CalcKind, a, b *columns.Column, out columns.FormatDesc, st
 // elements per worker fall back to the sequential operator (the per-worker
 // arrays and the merge would dominate).
 func ParSumGrouped(gids, vals *columns.Column, nGroups int, style vector.Style, par int) (*columns.Column, error) {
+	return FixedRT(par).SumGrouped(gids, vals, nGroups, style)
+}
+
+// SumGrouped is the runtime form of ParSumGrouped.
+func (rt Runtime) SumGrouped(gids, vals *columns.Column, nGroups int, style vector.Style) (*columns.Column, error) {
 	if err := checkCols(gids, vals); err != nil {
+		return nil, err
+	}
+	if err := rt.Err(); err != nil {
 		return nil, err
 	}
 	if gids.N() != vals.N() {
@@ -470,17 +527,17 @@ func ParSumGrouped(gids, vals *columns.Column, nGroups int, style vector.Style, 
 	if nGroups < 0 {
 		return nil, fmt.Errorf("ops: grouped sum: negative group count %d", nGroups)
 	}
-	parts := formats.SplitColumnsAlignedMorsels(gids, vals, par)
+	parts := formats.SplitColumnsAlignedMorsels(gids, vals, rt.Par())
 	// Each worker zeroes and the reducer re-adds an nGroups-length array;
 	// when groups are numerous relative to a worker's share of the elements
 	// that overhead outweighs the parallelized scan, so high-cardinality
 	// groupings run sequentially.
-	workers := workerCount(par, len(parts))
+	workers := rt.workers(len(parts))
 	if parts == nil || nGroups > gids.N()/workers {
 		return SumGrouped(gids, vals, nGroups, style)
 	}
 	partials := make([][]uint64, workers)
-	err := runParts(par, parts, func(w, _ int, pt formats.Partition) error {
+	err := rt.runParts(parts, func(w, _ int, pt formats.Partition) error {
 		if partials[w] == nil {
 			partials[w] = make([]uint64, nGroups)
 		}
@@ -500,9 +557,9 @@ func ParSumGrouped(gids, vals *columns.Column, nGroups int, style vector.Style, 
 	return columns.FromValues(sums), nil
 }
 
-func parSum(in *columns.Column, parts []formats.Partition, style vector.Style, par int) (uint64, *columns.Column, error) {
+func (rt Runtime) parSum(in *columns.Column, parts []formats.Partition, style vector.Style) (uint64, *columns.Column, error) {
 	partials := make([]uint64, len(parts))
-	err := runParts(par, parts, func(_, i int, pt formats.Partition) error {
+	err := rt.runParts(parts, func(_, i int, pt formats.Partition) error {
 		var t uint64
 		if err := streamSection(in, pt, func(vals []uint64, _ uint64) error {
 			if style == vector.Vec512 {

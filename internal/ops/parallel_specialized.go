@@ -33,11 +33,11 @@ func parSwarOK(in *columns.Column, val uint64) bool {
 // parSelectSwar evaluates the comparison predicate directly on the packed
 // words of each partition of a static BP column (SelectStaticBPDirect per
 // morsel) and stitches the per-partition position lists.
-func parSelectSwar(in *columns.Column, parts []formats.Partition, op bitutil.CmpKind, val uint64, out columns.FormatDesc, par int) (*columns.Column, error) {
+func (rt Runtime) parSelectSwar(in *columns.Column, parts []formats.Partition, op bitutil.CmpKind, val uint64, out columns.FormatDesc) (*columns.Column, error) {
 	b := uint(in.Desc().Bits)
 	yb := bitutil.Broadcast(val, b)
 	results := make([][]uint64, len(parts))
-	err := runParts(par, parts, func(_, i int, pt formats.Partition) error {
+	err := rt.runParts(parts, func(_, i int, pt formats.Partition) error {
 		results[i] = swarSelectSection(in, pt, func(word uint64) uint64 {
 			return bitutil.CmpPackedWord(word, yb, b, op)
 		})
@@ -46,12 +46,12 @@ func parSelectSwar(in *columns.Column, parts []formats.Partition, op bitutil.Cmp
 	if err != nil {
 		return nil, fmt.Errorf("ops: parallel swar select: %w", err)
 	}
-	return StitchCompressed(positionDesc(out, in.N()), in.N(), results, par)
+	return rt.stitchCompressed(positionDesc(out, in.N()), in.N(), results)
 }
 
 // parSelectBetweenSwar is the range form of parSelectSwar, combining two
 // SWAR comparison masks per packed word.
-func parSelectBetweenSwar(in *columns.Column, parts []formats.Partition, lo, hi uint64, out columns.FormatDesc, par int) (*columns.Column, error) {
+func (rt Runtime) parSelectBetweenSwar(in *columns.Column, parts []formats.Partition, lo, hi uint64, out columns.FormatDesc) (*columns.Column, error) {
 	b := uint(in.Desc().Bits)
 	// Values above the packable range can never match a width-b field.
 	if hi > bitutil.Mask(b) {
@@ -60,7 +60,7 @@ func parSelectBetweenSwar(in *columns.Column, parts []formats.Partition, lo, hi 
 	ylo := bitutil.Broadcast(lo, b)
 	yhi := bitutil.Broadcast(hi, b)
 	results := make([][]uint64, len(parts))
-	err := runParts(par, parts, func(_, i int, pt formats.Partition) error {
+	err := rt.runParts(parts, func(_, i int, pt formats.Partition) error {
 		results[i] = swarSelectSection(in, pt, func(word uint64) uint64 {
 			return bitutil.CmpPackedWord(word, ylo, b, bitutil.CmpGe) &
 				bitutil.CmpPackedWord(word, yhi, b, bitutil.CmpLe)
@@ -70,7 +70,7 @@ func parSelectBetweenSwar(in *columns.Column, parts []formats.Partition, lo, hi 
 	if err != nil {
 		return nil, fmt.Errorf("ops: parallel swar select between: %w", err)
 	}
-	return StitchCompressed(positionDesc(out, in.N()), in.N(), results, par)
+	return rt.stitchCompressed(positionDesc(out, in.N()), in.N(), results)
 }
 
 // swarSelectSection collects the positions whose field matches mask over the
@@ -98,11 +98,11 @@ func swarSelectSection(in *columns.Column, pt formats.Partition, mask func(word 
 
 // parSumStaticBPDirect sums each partition directly on its packed word range
 // via the window-parallel SWAR accumulation (SumStaticBPDirect per morsel).
-func parSumStaticBPDirect(in *columns.Column, parts []formats.Partition, par int) (uint64, *columns.Column, error) {
+func (rt Runtime) parSumStaticBPDirect(in *columns.Column, parts []formats.Partition) (uint64, *columns.Column, error) {
 	b := uint(in.Desc().Bits)
 	words := in.MainWords()
 	partials := make([]uint64, len(parts))
-	err := runParts(par, parts, func(_, i int, pt formats.Partition) error {
+	err := rt.runParts(parts, func(_, i int, pt formats.Partition) error {
 		// pt.Start is a multiple of 64 elements, so the section's packed
 		// words begin word-aligned at Start*b/64 and span exactly the words
 		// holding its Count fields (the accumulation consumes whole words).
@@ -124,7 +124,7 @@ func parSumStaticBPDirect(in *columns.Column, parts []formats.Partition, par int
 // parSumDynBPDirect sums each partition of a DynBP column block by block
 // directly on the packed payload words (SumDynBPDirect per morsel), plus the
 // uncompressed remainder for the tail partition.
-func parSumDynBPDirect(in *columns.Column, parts []formats.Partition, par int) (uint64, *columns.Column, error) {
+func (rt Runtime) parSumDynBPDirect(in *columns.Column, parts []formats.Partition) (uint64, *columns.Column, error) {
 	words := in.MainWords()
 	// One serial header walk (no payload is touched) positions every
 	// partition's word cursor up front; partitions are block-aligned, so a
@@ -142,7 +142,7 @@ func parSumDynBPDirect(in *columns.Column, parts []formats.Partition, par int) (
 		offsets[i] = w
 	}
 	partials := make([]uint64, len(parts))
-	err := runParts(par, parts, func(_, i int, pt formats.Partition) error {
+	err := rt.runParts(parts, func(_, i int, pt formats.Partition) error {
 		w := offsets[i]
 		var t uint64
 		end := min(pt.Start+pt.Count, in.MainElems())

@@ -1,0 +1,255 @@
+package ops
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"morphstore/internal/formats"
+)
+
+// This file implements the execution runtime threaded through the
+// morsel-parallel drivers: a cancellation context checked between morsels
+// and a shared worker Budget that divides one engine-wide goroutine
+// allowance among every operator running at any moment — across concurrent
+// operators of one plan and across concurrently executing queries alike.
+//
+// The budget replaces the old static division (an operator received
+// par/inflight workers when it started and kept that share until it
+// finished, so finishing siblings stranded their workers). Each running
+// operator holds a Lease; the Budget re-divides the allowance deterministically
+// whenever a lease opens or closes, and workers blocked on a shrunken lease
+// pick up the freed slots the moment a sibling operator completes.
+
+// Budget is a dynamic worker-goroutine allowance shared by every operator
+// of one engine. It is safe for concurrent use.
+type Budget struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	total  int
+	nextID uint64
+	leases []*Lease
+}
+
+// NewBudget returns a budget of total worker slots; total <= 0 means
+// GOMAXPROCS.
+func NewBudget(total int) *Budget {
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	b := &Budget{total: total}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Total returns the budget's worker allowance.
+func (b *Budget) Total() int { return b.total }
+
+// Lease is one operator's registration with a Budget: it holds the
+// operator's current worker limit, re-divided as sibling leases come and go.
+type Lease struct {
+	b     *Budget
+	id    uint64
+	cap   int // most workers this operator can ever use
+	limit int // current allowance, set by redivide
+	inUse int
+}
+
+// Lease registers an operator that can use at most cap concurrent workers
+// and returns its lease. Every open lease is guaranteed a limit of at least
+// one worker (progress), so the combined limit can exceed the total only
+// when more operators run than the budget has slots.
+func (b *Budget) Lease(cap int) *Lease {
+	if cap < 1 {
+		cap = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	l := &Lease{b: b, id: b.nextID, cap: cap}
+	b.nextID++
+	b.leases = append(b.leases, l)
+	b.redivide()
+	return l
+}
+
+// redivide deterministically splits the total allowance among the open
+// leases: capped leases (e.g. inherently sequential operators, cap 1) are
+// served first so their unusable share flows to the others, ties broken by
+// registration order, and every lease keeps a floor of one worker. Called
+// with b.mu held; wakes workers whose lease limit grew.
+func (b *Budget) redivide() {
+	k := len(b.leases)
+	if k == 0 {
+		return
+	}
+	order := make([]*Lease, k)
+	copy(order, b.leases)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].cap != order[j].cap {
+			return order[i].cap < order[j].cap
+		}
+		return order[i].id < order[j].id
+	})
+	remaining := b.total
+	for left := k; left > 0; left-- {
+		l := order[k-left]
+		share := (remaining + left - 1) / left // ceil: earlier leases absorb the remainder
+		lim := min(share, l.cap)
+		if lim < 1 {
+			lim = 1
+		}
+		l.limit = lim
+		remaining -= lim
+		if remaining < 0 {
+			remaining = 0
+		}
+	}
+	b.cond.Broadcast()
+}
+
+// Close unregisters the lease and re-divides the freed allowance among the
+// surviving leases, waking their blocked workers.
+func (l *Lease) Close() {
+	b := l.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, x := range b.leases {
+		if x == l {
+			b.leases = append(b.leases[:i], b.leases[i+1:]...)
+			break
+		}
+	}
+	b.redivide()
+}
+
+// acquire blocks until the lease has a free worker slot; it returns false
+// when ctx is cancelled. A waiter re-checks ctx on every slot release and on
+// every re-division, so cancellation is noticed within one morsel.
+func (l *Lease) acquire(ctx context.Context) bool {
+	b := l.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for l.inUse >= l.limit {
+		if ctx != nil && ctx.Err() != nil {
+			return false
+		}
+		b.cond.Wait()
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return false
+	}
+	l.inUse++
+	return true
+}
+
+// release returns a worker slot and wakes waiters (of this lease or, after a
+// re-division, of a sibling whose limit grew).
+func (l *Lease) release() {
+	b := l.b
+	b.mu.Lock()
+	l.inUse--
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Limit returns the lease's current worker allowance (for tests and
+// introspection; the value may change concurrently).
+func (l *Lease) Limit() int {
+	l.b.mu.Lock()
+	defer l.b.mu.Unlock()
+	return l.limit
+}
+
+// Runtime carries the execution environment of one operator invocation:
+// the cancellation context, the operator's budget lease (nil outside an
+// engine), and the morsel-parallelism cap. The zero value behaves like the
+// legacy fixed par=1 sequential execution.
+type Runtime struct {
+	ctx   context.Context
+	lease *Lease
+	par   int
+}
+
+// FixedRT returns a runtime with a fixed worker count and no budget sharing
+// or cancellation — the behavior of the legacy positional operator API.
+func FixedRT(par int) Runtime { return Runtime{par: par} }
+
+// RT returns a runtime for one operator run: ctx is checked between morsels,
+// and lease (which may be nil) gates the concurrently running workers.
+func RT(ctx context.Context, lease *Lease, par int) Runtime {
+	return Runtime{ctx: ctx, lease: lease, par: par}
+}
+
+// Par returns the runtime's morsel-parallelism cap (at least 1).
+func (rt Runtime) Par() int {
+	if rt.par < 1 {
+		return 1
+	}
+	return rt.par
+}
+
+// Err returns the runtime's cancellation status.
+func (rt Runtime) Err() error {
+	if rt.ctx == nil {
+		return nil
+	}
+	return rt.ctx.Err()
+}
+
+// workers bounds the worker-goroutine count for a task list.
+func (rt Runtime) workers(tasks int) int { return workerCount(rt.Par(), tasks) }
+
+// runParts executes fn for every partition, claimed in index order from an
+// atomic work-queue cursor by at most rt.Par() worker goroutines. fn receives
+// the claiming worker's index (for reusing per-worker scratch: one worker
+// index is never active on two goroutines) and the partition's index (for
+// depositing results in deterministic partition order). Workers check the
+// runtime's context and acquire a budget slot before every claim, so both
+// cancellation and budget re-division take effect within one morsel. The
+// first error is returned after all claimed work finishes; a cancelled run
+// returns the context's error.
+func (rt Runtime) runParts(parts []formats.Partition, fn func(worker, i int, pt formats.Partition) error) error {
+	workers := rt.workers(len(parts))
+	errs := make([]error, len(parts))
+	var next, completed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if rt.Err() != nil {
+					return
+				}
+				if rt.lease != nil && !rt.lease.acquire(rt.ctx) {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(parts) {
+					if rt.lease != nil {
+						rt.lease.release()
+					}
+					return
+				}
+				errs[i] = fn(w, i, parts[i])
+				completed.Add(1)
+				if rt.lease != nil {
+					rt.lease.release()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if int(completed.Load()) < len(parts) {
+		// Only cancellation leaves partitions unclaimed.
+		return rt.Err()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

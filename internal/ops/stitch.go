@@ -28,12 +28,18 @@ import (
 // format gains nothing from sectioning (uncompressed output is a single
 // copy already), or par <= 1.
 func StitchCompressed(desc columns.FormatDesc, sizeHint int, chunks [][]uint64, par int) (*columns.Column, error) {
+	return FixedRT(par).stitchCompressed(desc, sizeHint, chunks)
+}
+
+// stitchCompressed is the runtime form of StitchCompressed, sharing the
+// operator's budget lease and cancellation context with the section workers.
+func (rt Runtime) stitchCompressed(desc columns.FormatDesc, sizeHint int, chunks [][]uint64) (*columns.Column, error) {
 	total := 0
 	for _, c := range chunks {
 		total += len(c)
 	}
-	if par > 1 && total >= 2*formats.MinMorsel && desc.Kind != columns.Uncompressed {
-		col, done, err := stitchParallel(desc, chunks, total, par)
+	if rt.Par() > 1 && total >= 2*formats.MinMorsel && desc.Kind != columns.Uncompressed {
+		col, done, err := rt.stitchParallel(desc, chunks, total)
 		if done || err != nil {
 			return col, err
 		}
@@ -50,15 +56,15 @@ func StitchCompressed(desc columns.FormatDesc, sizeHint int, chunks [][]uint64, 
 	return w.Close()
 }
 
-// stitchParallel is the sectioned path of StitchCompressed; done reports
+// stitchParallel is the sectioned path of stitchCompressed; done reports
 // whether it applied (false sends the caller to the serial writer).
-func stitchParallel(desc columns.FormatDesc, chunks [][]uint64, total, par int) (col *columns.Column, done bool, err error) {
+func (rt Runtime) stitchParallel(desc columns.FormatDesc, chunks [][]uint64, total int) (col *columns.Column, done bool, err error) {
 	d := desc
 	if d.Kind == columns.StaticBP && d.Bits == 0 {
 		// The monolithic auto-width writer buffers the whole stream to derive
 		// one global width; deriving it up front lets every section pack
 		// streamingly at that width and concatenate by pure bit-copies.
-		b := maxBitsChunks(chunks, par)
+		b := rt.maxBitsChunks(chunks)
 		if b == 0 {
 			return nil, false, nil // all-zero stream: zero-width column, serial is trivial
 		}
@@ -68,12 +74,12 @@ func stitchParallel(desc columns.FormatDesc, chunks [][]uint64, total, par int) 
 	if align == 0 {
 		return nil, false, nil
 	}
-	ranges := formats.SplitRange(total, par, align)
+	ranges := formats.SplitRange(total, rt.Par(), align)
 	if ranges == nil {
 		return nil, false, nil
 	}
 	parts := make([]*columns.Column, len(ranges))
-	err = runParts(par, ranges, func(_, i int, pt formats.Partition) error {
+	err = rt.runParts(ranges, func(_, i int, pt formats.Partition) error {
 		var prev uint64
 		hasPrev := pt.Start > 0
 		if hasPrev && d.Kind == columns.DeltaBP {
@@ -104,7 +110,7 @@ func stitchParallel(desc columns.FormatDesc, chunks [][]uint64, total, par int) 
 // all chunks, scanning concurrently. Large chunks are subdivided so the scan
 // parallelizes even for the single-chunk streams ParProject and
 // ParCalcBinary hand to the stitch.
-func maxBitsChunks(chunks [][]uint64, par int) uint {
+func (rt Runtime) maxBitsChunks(chunks [][]uint64) uint {
 	var pieces [][]uint64
 	for _, c := range chunks {
 		for len(c) > 0 {
@@ -115,11 +121,12 @@ func maxBitsChunks(chunks [][]uint64, par int) uint {
 	}
 	maxes := make([]uint, len(pieces))
 	var wg sync.WaitGroup
-	for w := 0; w < workerCount(par, len(pieces)); w++ {
+	workers := rt.workers(len(pieces))
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for i := w; i < len(pieces); i += workerCount(par, len(pieces)) {
+			for i := w; i < len(pieces); i += workers {
 				maxes[i] = bitutil.MaxBits(pieces[i])
 			}
 		}(w)

@@ -29,9 +29,17 @@
 //
 //	vals := []uint64{3, 1, 4, 1, 5, 9, 2, 6}
 //	col, _ := morphstore.Compress(vals, morphstore.DynBP)
-//	pos, _ := morphstore.Select(col, morphstore.CmpGt, 3, morphstore.DeltaBP, morphstore.Vec512)
+//	eng := morphstore.NewEngine(nil, morphstore.WithStyle(morphstore.Vec512))
+//	pos, _ := eng.Select(ctx, col, morphstore.CmpGt, 3,
+//		morphstore.WithOutput(morphstore.DeltaBP))
 //
-// See examples/ for complete programs.
+// Query plans compile once and execute concurrently under a context:
+//
+//	eng := morphstore.NewEngine(db, morphstore.WithParallelism(8))
+//	q, _ := eng.Prepare(plan, morphstore.WithCostBasedFormats())
+//	res, _ := q.Execute(ctx)
+//
+// See engine.go for the engine API and examples/ for complete programs.
 package morphstore
 
 import (
@@ -147,22 +155,30 @@ const (
 
 // Select returns the sorted positions of elements matching `element op val`,
 // recompressed in the requested output format.
+//
+// Deprecated: Use Engine.Select(ctx, in, op, val, WithOutput(out), WithStyle(style)).
 func Select(in *Column, op CmpKind, val uint64, out FormatDesc, style Style) (*Column, error) {
 	return ops.Select(in, op, val, out, style)
 }
 
 // SelectBetween returns the sorted positions of elements in [lo, hi].
+//
+// Deprecated: Use Engine.SelectBetween(ctx, in, lo, hi, WithOutput(out), WithStyle(style)).
 func SelectBetween(in *Column, lo, hi uint64, out FormatDesc, style Style) (*Column, error) {
 	return ops.SelectBetween(in, lo, hi, out, style)
 }
 
 // Project gathers data values at the given positions; the data column must
 // support random access (Uncompressed or StaticBP).
+//
+// Deprecated: Use Engine.Project(ctx, data, pos, WithOutput(out), WithStyle(style)).
 func Project(data, pos *Column, out FormatDesc, style Style) (*Column, error) {
 	return ops.Project(data, pos, out, style)
 }
 
 // Sum aggregates all elements of a column.
+//
+// Deprecated: Use Engine.Sum(ctx, in, WithStyle(style)).
 func Sum(in *Column, style Style) (uint64, error) {
 	s, _, err := ops.SumWhole(in, style)
 	return s, err
@@ -171,27 +187,37 @@ func Sum(in *Column, style Style) (uint64, error) {
 // ParSelect is the morsel-parallel form of Select: the input is split into
 // at most par contiguous block-aligned partitions processed on worker
 // goroutines. The result is byte-identical to Select at every par.
+//
+// Deprecated: Use Engine.Select with WithParallelism(par).
 func ParSelect(in *Column, op CmpKind, val uint64, out FormatDesc, style Style, par int) (*Column, error) {
 	return ops.ParSelect(in, op, val, out, style, par)
 }
 
 // ParSelectBetween is the morsel-parallel form of SelectBetween.
+//
+// Deprecated: Use Engine.SelectBetween with WithParallelism(par).
 func ParSelectBetween(in *Column, lo, hi uint64, out FormatDesc, style Style, par int) (*Column, error) {
 	return ops.ParSelectBetween(in, lo, hi, out, style, par)
 }
 
 // ParProject is the morsel-parallel form of Project.
+//
+// Deprecated: Use Engine.Project with WithParallelism(par).
 func ParProject(data, pos *Column, out FormatDesc, style Style, par int) (*Column, error) {
 	return ops.ParProject(data, pos, out, style, par)
 }
 
 // ParSemiJoin emits probe positions whose key occurs in build, probing the
 // shared build-side hash table from par workers.
+//
+// Deprecated: Use Engine.SemiJoin with WithParallelism(par).
 func ParSemiJoin(probe, build *Column, out FormatDesc, style Style, par int) (*Column, error) {
 	return ops.ParSemiJoin(probe, build, out, style, par)
 }
 
 // ParSum is the morsel-parallel form of Sum.
+//
+// Deprecated: Use Engine.Sum with WithParallelism(par).
 func ParSum(in *Column, style Style, par int) (uint64, error) {
 	s, _, err := ops.ParSum(in, style, par)
 	return s, err
@@ -200,6 +226,8 @@ func ParSum(in *Column, style Style, par int) (uint64, error) {
 // JoinN1 equi-joins a probe-side key column against a build-side key column
 // with unique values, returning the matching probe positions and, aligned
 // with them, the joined build positions.
+//
+// Deprecated: Use Engine.JoinN1(ctx, probe, build, WithOutputs(outProbe, outBuild), WithStyle(style)).
 func JoinN1(probe, build *Column, outProbe, outBuild FormatDesc, style Style) (probePos, buildPos *Column, err error) {
 	return ops.JoinN1(probe, build, outProbe, outBuild, style)
 }
@@ -207,38 +235,52 @@ func JoinN1(probe, build *Column, outProbe, outBuild FormatDesc, style Style) (p
 // ParJoinN1 is the morsel-parallel form of JoinN1: the build-side hash table
 // is built once and probed from par workers; both position outputs are
 // byte-identical to JoinN1 at every par.
+//
+// Deprecated: Use Engine.JoinN1 with WithParallelism(par).
 func ParJoinN1(probe, build *Column, outProbe, outBuild FormatDesc, style Style, par int) (probePos, buildPos *Column, err error) {
 	return ops.ParJoinN1(probe, build, outProbe, outBuild, style, par)
 }
 
 // SumGrouped sums vals per group id, for group ids in [0, nGroups).
+//
+// Deprecated: Use Engine.SumGrouped(ctx, gids, vals, nGroups, WithStyle(style)).
 func SumGrouped(gids, vals *Column, nGroups int, style Style) (*Column, error) {
 	return ops.SumGrouped(gids, vals, nGroups, style)
 }
 
 // ParSumGrouped is the morsel-parallel form of SumGrouped: workers merge
 // per-partition partial group-sum arrays.
+//
+// Deprecated: Use Engine.SumGrouped with WithParallelism(par).
 func ParSumGrouped(gids, vals *Column, nGroups int, style Style, par int) (*Column, error) {
 	return ops.ParSumGrouped(gids, vals, nGroups, style, par)
 }
 
 // Intersect intersects two sorted position lists.
+//
+// Deprecated: Use Engine.Intersect(ctx, a, b, WithOutput(out)).
 func Intersect(a, b *Column, out FormatDesc) (*Column, error) {
 	return ops.IntersectSorted(a, b, out)
 }
 
 // Union merges two sorted position lists without duplicates.
+//
+// Deprecated: Use Engine.Union(ctx, a, b, WithOutput(out)).
 func Union(a, b *Column, out FormatDesc) (*Column, error) {
 	return ops.MergeSorted(a, b, out)
 }
 
 // Calc combines two equal-length columns element-wise.
+//
+// Deprecated: Use Engine.Calc(ctx, op, a, b, WithOutput(out), WithStyle(style)).
 func Calc(op CalcKind, a, b *Column, out FormatDesc, style Style) (*Column, error) {
 	return ops.CalcBinary(op, a, b, out, style)
 }
 
 // ParCalc is the morsel-parallel form of Calc: both inputs are split at
 // shared block-aligned boundaries and combined in lockstep by par workers.
+//
+// Deprecated: Use Engine.Calc with WithParallelism(par).
 func ParCalc(op CalcKind, a, b *Column, out FormatDesc, style Style, par int) (*Column, error) {
 	return ops.ParCalcBinary(op, a, b, out, style, par)
 }
@@ -285,6 +327,8 @@ type Config = core.Config
 type Result = core.Result
 
 // Execute runs a plan against a database under the given configuration.
+//
+// Deprecated: Use NewEngine(db), Engine.Prepare(p, WithConfig(cfg)), and Prepared.Execute(ctx): the plan compiles once, executions accept a context, and concurrent queries share one worker budget.
 func Execute(p *Plan, db *DB, cfg *Config) (*Result, error) {
 	return core.Execute(p, db, cfg)
 }
