@@ -353,6 +353,78 @@ func run(b *bench, n int, seed int64, repeats, par int) error {
 		b.record("parallel", fmt.Sprintf("sum_grouped_par%d", p), "gbps", gbps(n, tgsum))
 	}
 
+	// Parallel grouping: GroupFirst over the dense group-id column and the
+	// GroupNext refinement of its output with the probe-key column — the
+	// per-worker-table / deterministic-merge / remap drivers at increasing
+	// parallelism (1 = the sequential hash grouping).
+	b.printf("\n-- parallel grouping (per-worker tables + deterministic merge) --\n")
+	gids1, _, err := ops.GroupFirst(gidCol, columns.DynBPDesc, columns.UncomprDesc, vector.Vec512)
+	if err != nil {
+		return err
+	}
+	for _, p := range levels {
+		tgf, err := minTime(repeats, func() error {
+			_, _, err := ops.ParGroupFirst(gidCol, columns.DynBPDesc, columns.UncomprDesc, vector.Vec512, p)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		tgn, err := minTime(repeats, func() error {
+			_, _, err := ops.ParGroupNext(gids1, probeCol, columns.DynBPDesc, columns.UncomprDesc, vector.Vec512, p)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		b.printf("par=%-2d  group_first: %8.2f GB/s   group_next: %8.2f GB/s\n",
+			p, gbps(n, tgf), gbps(n, tgn))
+		b.record("grouped", fmt.Sprintf("group_first_par%d", p), "gbps", gbps(n, tgf))
+		b.record("grouped", fmt.Sprintf("group_next_par%d", p), "gbps", gbps(n, tgn))
+	}
+
+	// Parallel sorted-set operators: intersect/merge of two sorted position
+	// lists (~50% and ~33% selectivity), split at shared value-range
+	// boundaries (1 = the sequential two-pointer merge).
+	b.printf("\n-- parallel sorted-set operators (value-range splits) --\n")
+	setA := make([]uint64, 0, n/2)
+	setB := make([]uint64, 0, n/3)
+	for i := 0; i < n; i += 2 {
+		setA = append(setA, uint64(i))
+	}
+	for i := 0; i < n; i += 3 {
+		setB = append(setB, uint64(i))
+	}
+	setACol, err := formats.Compress(setA, columns.DeltaBPDesc)
+	if err != nil {
+		return err
+	}
+	setBCol, err := formats.Compress(setB, columns.DeltaBPDesc)
+	if err != nil {
+		return err
+	}
+	nSet := len(setA) + len(setB) // elements touched per run
+	for _, p := range levels {
+		ti, err := minTime(repeats, func() error {
+			_, err := ops.ParIntersect(setACol, setBCol, columns.DeltaBPDesc, p)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		tu, err := minTime(repeats, func() error {
+			_, err := ops.ParMerge(setACol, setBCol, columns.DeltaBPDesc, p)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		b.printf("par=%-2d  intersect: %8.2f GB/s   merge: %8.2f GB/s\n",
+			p, gbps(nSet, ti), gbps(nSet, tu))
+		b.record("setops", fmt.Sprintf("intersect_par%d", p), "gbps", gbps(nSet, ti))
+		b.record("setops", fmt.Sprintf("merge_par%d", p), "gbps", gbps(nSet, tu))
+	}
+
 	// Compressed stitch: the cost of materializing a high-selectivity
 	// operator output stream as a compressed column. "serial" is the old
 	// single-writer recompression (the pre-stitch Amdahl tail), "concat" is

@@ -39,7 +39,8 @@ import (
 // operator call, and an optional admission gate. It is safe for concurrent
 // use. See core.Engine for the full method set: Prepare plus the one-off
 // operators Select, SelectBetween, Project, Sum, SumGrouped, SemiJoin,
-// JoinN1, Calc, Intersect, and Union, all taking a context and options.
+// JoinN1, Calc, Intersect, Union, GroupFirst, and GroupNext, all taking a
+// context and options.
 type Engine = core.Engine
 
 // Prepared is a plan compiled against one engine: formats resolved, every
@@ -117,5 +118,6 @@ func WithConfig(cfg *Config) Option { return core.WithConfig(cfg) }
 func WithOutput(d FormatDesc) Option { return core.WithOutput(d) }
 
 // WithOutputs sets the two output formats of a dual-output operator call
-// (JoinN1: probe positions, build positions). Applies to operator calls.
+// (JoinN1: probe positions, build positions; GroupFirst/GroupNext: group
+// ids, extents). Applies to operator calls.
 func WithOutputs(first, second FormatDesc) Option { return core.WithOutputs(first, second) }

@@ -222,7 +222,8 @@ func WithOutput(d columns.FormatDesc) Option {
 }
 
 // WithOutputs sets the two output formats of a dual-output operator call
-// (JoinN1: probe positions, build positions). Applies to operator calls.
+// (JoinN1: probe positions, build positions; GroupFirst/GroupNext: group
+// ids, extents). Applies to operator calls.
 func WithOutputs(first, second columns.FormatDesc) Option {
 	return Option{name: "WithOutputs", scope: scopeOp,
 		apply: func(o *options) { o.output = []columns.FormatDesc{first, second} }}
@@ -418,19 +419,24 @@ func (pr *Prepared) Execute(ctx context.Context, o ...Option) (*Result, error) {
 
 // nodeRuntime leases the node's worker share from the engine budget; the
 // returned release must be called when the node completes so the budget
-// re-divides among the operators still running.
-func (e *Engine) nodeRuntime(ctx context.Context, bn *boundNode, par int) (ops.Runtime, func()) {
-	cap := bn.parCap
-	if cap <= 0 || cap > par {
-		cap = par
-	}
-	lease := e.budget.Lease(cap)
-	return ops.RT(ctx, lease, cap), lease.Close
+// re-divides among the operators still running. Every operator leases up to
+// the full per-query parallelism — with the grouping and sorted-set drivers
+// parallelized there are no cap-1 leases left, so the budget re-division
+// covers the whole plan.
+func (e *Engine) nodeRuntime(ctx context.Context, par int) (ops.Runtime, func()) {
+	lease := e.budget.Lease(par)
+	return ops.RT(ctx, lease, par), lease.Close
 }
 
-// runNode executes one bound operator under its budget lease.
+// runNode executes one bound operator under its budget lease. Scans do no
+// kernel work (they hand out the stored column), so they skip the budget
+// entirely instead of opening and closing a lease — a lease open/close pair
+// would transiently re-divide the allowance of every running operator.
 func (pr *Prepared) runNode(ctx context.Context, es *execState, bn *boundNode, par int) ([]*columns.Column, error) {
-	rt, release := pr.e.nodeRuntime(ctx, bn, par)
+	if bn.n.op == OpScan {
+		return bn.run(es, ops.RT(ctx, nil, 1))
+	}
+	rt, release := pr.e.nodeRuntime(ctx, par)
 	defer release()
 	produced, err := bn.run(es, rt)
 	if err != nil {

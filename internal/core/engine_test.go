@@ -576,4 +576,26 @@ func TestEngineOneOffOps(t *testing.T) {
 		t.Fatal(err)
 	}
 	sameColumns(t, "union", wantU, gotU)
+
+	wantGF, wantGFE, err := ops.GroupFirst(colG, columns.DynBPDesc, columns.DeltaBPDesc, vector.Vec512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotGF, gotGFE, err := e.GroupFirst(ctx, colG, WithOutputs(columns.DynBPDesc, columns.DeltaBPDesc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameColumns(t, "group first gids", wantGF, gotGF)
+	sameColumns(t, "group first extents", wantGFE, gotGFE)
+
+	wantGN, wantGNE, err := ops.GroupNext(wantGF, colB, columns.DynBPDesc, columns.UncomprDesc, vector.Vec512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotGN, gotGNE, err := e.GroupNext(ctx, gotGF, colB, WithOutputs(columns.DynBPDesc, columns.UncomprDesc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameColumns(t, "group next gids", wantGN, gotGN)
+	sameColumns(t, "group next extents", wantGNE, gotGNE)
 }

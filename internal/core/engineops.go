@@ -15,11 +15,11 @@ import (
 // ad-hoc operators and prepared queries divide the same allowance — and
 // honours the context like a prepared execution.
 
-// opRuntime opens a budget lease for one ad-hoc operator call. cap bounds
-// the lease for inherently sequential operators (cap 1, so their unusable
-// share flows to concurrent work); cap <= 0 means the call's parallelism
-// option (default: the whole engine budget).
-func (e *Engine) opRuntime(ctx context.Context, o []Option, cap int) (options, ops.Runtime, func(), error) {
+// opRuntime opens a budget lease for one ad-hoc operator call, sized by the
+// call's parallelism option (default: the whole engine budget). Every
+// operator — including the grouping and sorted-set calls, whose drivers are
+// parallel now — leases its full share; there are no cap-1 leases left.
+func (e *Engine) opRuntime(ctx context.Context, o []Option) (options, ops.Runtime, func(), error) {
 	if e.err != nil {
 		return options{}, ops.Runtime{}, nil, e.err
 	}
@@ -34,9 +34,6 @@ func (e *Engine) opRuntime(ctx context.Context, o []Option, cap int) (options, o
 	if par <= 0 {
 		par = e.budget.Total()
 	}
-	if cap > 0 && cap < par {
-		par = cap
-	}
 	lease := e.budget.Lease(par)
 	return opt, ops.RT(ctx, lease, par), lease.Close, nil
 }
@@ -44,7 +41,7 @@ func (e *Engine) opRuntime(ctx context.Context, o []Option, cap int) (options, o
 // Select returns the sorted positions of elements matching `element op val`.
 // Options: WithOutput, WithStyle, WithSpecialized, WithParallelism.
 func (e *Engine) Select(ctx context.Context, in *columns.Column, op bitutil.CmpKind, val uint64, o ...Option) (*columns.Column, error) {
-	opt, rt, done, err := e.opRuntime(ctx, o, 0)
+	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +51,7 @@ func (e *Engine) Select(ctx context.Context, in *columns.Column, op bitutil.CmpK
 
 // SelectBetween returns the sorted positions of elements in [lo, hi].
 func (e *Engine) SelectBetween(ctx context.Context, in *columns.Column, lo, hi uint64, o ...Option) (*columns.Column, error) {
-	opt, rt, done, err := e.opRuntime(ctx, o, 0)
+	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +62,7 @@ func (e *Engine) SelectBetween(ctx context.Context, in *columns.Column, lo, hi u
 // Project gathers data values at the given positions; the data column must
 // support random access (uncompressed or static BP).
 func (e *Engine) Project(ctx context.Context, data, pos *columns.Column, o ...Option) (*columns.Column, error) {
-	opt, rt, done, err := e.opRuntime(ctx, o, 0)
+	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +72,7 @@ func (e *Engine) Project(ctx context.Context, data, pos *columns.Column, o ...Op
 
 // Sum aggregates all elements of a column.
 func (e *Engine) Sum(ctx context.Context, in *columns.Column, o ...Option) (uint64, error) {
-	opt, rt, done, err := e.opRuntime(ctx, o, 0)
+	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return 0, err
 	}
@@ -86,7 +83,7 @@ func (e *Engine) Sum(ctx context.Context, in *columns.Column, o ...Option) (uint
 
 // SumGrouped sums vals per group id, for group ids in [0, nGroups).
 func (e *Engine) SumGrouped(ctx context.Context, gids, vals *columns.Column, nGroups int, o ...Option) (*columns.Column, error) {
-	opt, rt, done, err := e.opRuntime(ctx, o, 0)
+	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +93,7 @@ func (e *Engine) SumGrouped(ctx context.Context, gids, vals *columns.Column, nGr
 
 // SemiJoin emits probe positions whose key occurs in build.
 func (e *Engine) SemiJoin(ctx context.Context, probe, build *columns.Column, o ...Option) (*columns.Column, error) {
-	opt, rt, done, err := e.opRuntime(ctx, o, 0)
+	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +105,7 @@ func (e *Engine) SemiJoin(ctx context.Context, probe, build *columns.Column, o .
 // with unique values, returning the matching probe positions and, aligned
 // with them, the joined build positions (WithOutputs sets their formats).
 func (e *Engine) JoinN1(ctx context.Context, probe, build *columns.Column, o ...Option) (probePos, buildPos *columns.Column, err error) {
-	opt, rt, done, err := e.opRuntime(ctx, o, 0)
+	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -118,7 +115,7 @@ func (e *Engine) JoinN1(ctx context.Context, probe, build *columns.Column, o ...
 
 // Calc combines two equal-length columns element-wise.
 func (e *Engine) Calc(ctx context.Context, op ops.CalcKind, a, b *columns.Column, o ...Option) (*columns.Column, error) {
-	opt, rt, done, err := e.opRuntime(ctx, o, 0)
+	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
 	}
@@ -126,30 +123,48 @@ func (e *Engine) Calc(ctx context.Context, op ops.CalcKind, a, b *columns.Column
 	return rt.CalcBinary(op, a, b, opt.outputDesc(0), opt.style)
 }
 
-// Intersect intersects two sorted position lists. The merge is inherently
-// sequential, so the call leases a single budget slot.
+// Intersect intersects two sorted position lists, splitting both inputs at
+// shared value-range boundaries for parallel processing.
 func (e *Engine) Intersect(ctx context.Context, a, b *columns.Column, o ...Option) (*columns.Column, error) {
-	opt, rt, done, err := e.opRuntime(ctx, o, 1)
+	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
 	}
 	defer done()
-	if err := rt.Err(); err != nil {
-		return nil, err
-	}
-	return ops.IntersectSorted(a, b, opt.outputDesc(0))
+	return rt.Intersect(a, b, opt.outputDesc(0))
 }
 
-// Union merges two sorted position lists without duplicates. The merge is
-// inherently sequential, so the call leases a single budget slot.
+// Union merges two sorted position lists without duplicates, splitting both
+// inputs at shared value-range boundaries for parallel processing.
 func (e *Engine) Union(ctx context.Context, a, b *columns.Column, o ...Option) (*columns.Column, error) {
-	opt, rt, done, err := e.opRuntime(ctx, o, 1)
+	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
 	}
 	defer done()
-	if err := rt.Err(); err != nil {
-		return nil, err
+	return rt.Merge(a, b, opt.outputDesc(0))
+}
+
+// GroupFirst assigns a dense group id (in order of first occurrence) to
+// every element of keys, returning the per-row group ids and, per group, the
+// position of its first occurrence (WithOutputs sets their formats).
+func (e *Engine) GroupFirst(ctx context.Context, keys *columns.Column, o ...Option) (gids, extents *columns.Column, err error) {
+	opt, rt, done, err := e.opRuntime(ctx, o)
+	if err != nil {
+		return nil, nil, err
 	}
-	return ops.MergeSorted(a, b, opt.outputDesc(0))
+	defer done()
+	return rt.GroupFirst(keys, opt.outputDesc(0), opt.outputDesc(1), opt.style)
+}
+
+// GroupNext refines an existing grouping with an additional key column: rows
+// fall into the same output group iff they had the same previous group id
+// and the same new key. Outputs follow the GroupFirst conventions.
+func (e *Engine) GroupNext(ctx context.Context, prevGids, keys *columns.Column, o ...Option) (gids, extents *columns.Column, err error) {
+	opt, rt, done, err := e.opRuntime(ctx, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer done()
+	return rt.GroupNext(prevGids, keys, opt.outputDesc(0), opt.outputDesc(1), opt.style)
 }

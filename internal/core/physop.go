@@ -30,14 +30,14 @@ import (
 // prepared plan.
 type physOp func(es *execState, rt ops.Runtime) ([]*columns.Column, error)
 
-// boundNode pairs a plan node with its compiled physical operator.
+// boundNode pairs a plan node with its compiled physical operator. Every
+// operator participates in morsel/range parallelism (since the grouping and
+// sorted-set operators gained parallel drivers there are no capped,
+// inherently sequential nodes left), so each node leases the full per-query
+// share of the engine budget while it runs.
 type boundNode struct {
-	n *Node
-	// parCap caps the morsel parallelism of the operator: 1 for inherently
-	// sequential operators (scan, intersect, merge, grouping), 0 for the
-	// partitionable kernels (bounded only by the per-query parallelism).
-	parCap int
-	run    physOp
+	n   *Node
+	run physOp
 }
 
 // execState is the mutable state of one plan execution: the per-node output
@@ -132,7 +132,7 @@ func (c *compiler) compile(n *Node) (boundNode, error) {
 		if err != nil {
 			return boundNode{}, err
 		}
-		return boundNode{n: n, parCap: 1, run: func(*execState, ops.Runtime) ([]*columns.Column, error) {
+		return boundNode{n: n, run: func(*execState, ops.Runtime) ([]*columns.Column, error) {
 			return []*columns.Column{col}, nil
 		}}, nil
 	case OpSelect:
@@ -176,8 +176,8 @@ func (c *compiler) compile(n *Node) (boundNode, error) {
 			return boundNode{}, err
 		}
 		x, y := n.inputs[0], n.inputs[1]
-		return boundNode{n: n, parCap: 1, run: func(es *execState, _ ops.Runtime) ([]*columns.Column, error) {
-			return one(ops.IntersectSorted(es.in(x), es.in(y), d))
+		return boundNode{n: n, run: func(es *execState, rt ops.Runtime) ([]*columns.Column, error) {
+			return one(rt.Intersect(es.in(x), es.in(y), d))
 		}}, nil
 	case OpMerge:
 		d, err := c.outDesc(n.outNames[0])
@@ -185,8 +185,8 @@ func (c *compiler) compile(n *Node) (boundNode, error) {
 			return boundNode{}, err
 		}
 		x, y := n.inputs[0], n.inputs[1]
-		return boundNode{n: n, parCap: 1, run: func(es *execState, _ ops.Runtime) ([]*columns.Column, error) {
-			return one(ops.MergeSorted(es.in(x), es.in(y), d))
+		return boundNode{n: n, run: func(es *execState, rt ops.Runtime) ([]*columns.Column, error) {
+			return one(rt.Merge(es.in(x), es.in(y), d))
 		}}, nil
 	case OpSemiJoin:
 		d, err := c.outDesc(n.outNames[0])
@@ -224,8 +224,8 @@ func (c *compiler) compile(n *Node) (boundNode, error) {
 			return boundNode{}, err
 		}
 		keys := n.inputs[0]
-		return boundNode{n: n, parCap: 1, run: func(es *execState, _ ops.Runtime) ([]*columns.Column, error) {
-			cg, ce, err := ops.GroupFirst(es.in(keys), dg, de, style)
+		return boundNode{n: n, run: func(es *execState, rt ops.Runtime) ([]*columns.Column, error) {
+			cg, ce, err := rt.GroupFirst(es.in(keys), dg, de, style)
 			if err != nil {
 				return nil, err
 			}
@@ -241,8 +241,8 @@ func (c *compiler) compile(n *Node) (boundNode, error) {
 			return boundNode{}, err
 		}
 		prev, keys := n.inputs[0], n.inputs[1]
-		return boundNode{n: n, parCap: 1, run: func(es *execState, _ ops.Runtime) ([]*columns.Column, error) {
-			cg, ce, err := ops.GroupNext(es.in(prev), es.in(keys), dg, de, style)
+		return boundNode{n: n, run: func(es *execState, rt ops.Runtime) ([]*columns.Column, error) {
+			cg, ce, err := rt.GroupNext(es.in(prev), es.in(keys), dg, de, style)
 			if err != nil {
 				return nil, err
 			}

@@ -4,11 +4,20 @@
 // intermediate carries its own lightweight compression format, chosen
 // independently per column (design principles DP1–DP4).
 //
-// A Plan is a DAG of MonetDB-style operators over named columns. A Config
-// assigns a format to every intermediate (and the encoded base data);
-// Execute materializes the plan operator-at-a-time, wiring each operator's
-// output through the corresponding compression writer, and accounts the
-// memory footprint and runtime that the paper's experiments report.
+// A Plan is a DAG of MonetDB-style operators over named columns, assembled
+// with a Builder. An Engine owns the base data (DB), an engine-wide worker
+// budget shared by every concurrently executing query, and an optional
+// admission gate. Engine.Prepare compiles a plan once — per-column formats
+// resolved explicitly, uniformly, or cost-based; morph insertions and
+// kernel dispatch bound into one physical operator per node (physop.go) —
+// and Prepared.Execute runs it under a context.Context, sequentially or on
+// the concurrent DAG scheduler (sched.go), accounting the memory footprint
+// and runtime that the paper's experiments report. Results are
+// byte-identical at every parallelism level and under any mix of
+// concurrent queries.
+//
+// The pre-engine entry points remain as deprecated wrappers: Execute runs
+// a plan under a legacy Config by preparing it on a throwaway engine.
 package core
 
 import (

@@ -1,0 +1,142 @@
+package formats
+
+// This file implements value-range partitioning of sorted element streams,
+// the slicing half of the parallel sorted-set operators (intersect/merge):
+// two sorted inputs are cut at one shared set of boundary VALUES, so the
+// resulting range pairs are value-disjoint and can be processed independently
+// — concatenating the per-range results in range order reproduces the
+// sequential two-pointer merge exactly, duplicates included, because every
+// cut places all elements < v on its left and all elements >= v on its right
+// in BOTH inputs.
+
+// RangePair pairs one section of each of two sorted inputs covering the same
+// half-open value range: every element of A and B in the pair is >= the
+// pair's lower boundary value and < the next pair's. Pairs tile both inputs
+// completely and in value order.
+type RangePair struct {
+	A Partition
+	B Partition
+}
+
+// SplitSortedAligned cuts two sorted value slices at shared value boundaries
+// into work-queue range pairs for up to p workers (over-decomposed like
+// SplitColumnMorsels, so a dynamic work queue rebalances skew between the
+// ranges). Boundary values are sampled at evenly spaced positions of a, and
+// any pair whose b side comes out oversized — skew concentrated between two
+// of a's samples — is subdivided again with boundary values sampled from b,
+// so neither input can concentrate the work into one task. All cut points
+// are located by galloping lower-bound searches, so a boundary never splits
+// a run of duplicates — the whole run lands in the right-hand range of both
+// inputs. It returns nil when a is too small to be worth splitting or
+// p <= 1 — callers treat nil as "process sequentially". Both inputs must be
+// sorted ascending; b may be empty or arbitrarily longer than a.
+func SplitSortedAligned(a, b []uint64, p int) []RangePair {
+	if p <= 1 || len(a) < 2*MinMorsel {
+		return nil
+	}
+	nRanges := p * morselsPerWorker
+	if max := len(a) / MinMorsel; nRanges > max {
+		nRanges = max
+	}
+	if nRanges <= 1 {
+		return nil
+	}
+	// A b range is oversized when it exceeds its even share by more than a
+	// morsel; MinMorsel keeps the refinement from shredding small inputs.
+	maxB := len(b)/nRanges + MinMorsel
+	pairs := make([]RangePair, 0, nRanges)
+	prevA, prevB := 0, 0
+	emit := func(ca, cb int) {
+		pair := RangePair{
+			A: Partition{Start: prevA, Count: ca - prevA},
+			B: Partition{Start: prevB, Count: cb - prevB},
+		}
+		if pair.B.Count > maxB {
+			pairs = splitByB(a, b, pair, maxB, pairs)
+		} else {
+			pairs = append(pairs, pair)
+		}
+		prevA, prevB = ca, cb
+	}
+	for k := 1; k < nRanges; k++ {
+		target := len(a) * k / nRanges
+		if target <= prevA {
+			continue
+		}
+		v := a[target]
+		ca := gallopLower(a, prevA, v)
+		if ca <= prevA {
+			// The duplicate run holding v spans the whole candidate range;
+			// cutting here would create an empty range, so skip the boundary.
+			continue
+		}
+		emit(ca, gallopLower(b, prevB, v))
+	}
+	emit(len(a), len(b))
+	if len(pairs) <= 1 {
+		return nil
+	}
+	return pairs
+}
+
+// splitByB subdivides one value-disjoint range pair whose b side is
+// oversized, sampling the extra boundary values from b (the same lower-bound
+// cut rule, so the subranges stay value-disjoint and duplicate runs intact)
+// and appending the subpairs to dst in value order.
+func splitByB(a, b []uint64, pair RangePair, maxB int, dst []RangePair) []RangePair {
+	subs := (pair.B.Count + maxB - 1) / maxB
+	aEnd, bEnd := pair.A.Start+pair.A.Count, pair.B.Start+pair.B.Count
+	prevA, prevB := pair.A.Start, pair.B.Start
+	for k := 1; k < subs; k++ {
+		target := pair.B.Start + pair.B.Count*k/subs
+		if target <= prevB {
+			continue
+		}
+		v := b[target]
+		cb := gallopLower(b[:bEnd], prevB, v)
+		if cb <= prevB {
+			continue // duplicate run spans the candidate subrange
+		}
+		ca := gallopLower(a[:aEnd], prevA, v)
+		dst = append(dst, RangePair{
+			A: Partition{Start: prevA, Count: ca - prevA},
+			B: Partition{Start: prevB, Count: cb - prevB},
+		})
+		prevA, prevB = ca, cb
+	}
+	return append(dst, RangePair{
+		A: Partition{Start: prevA, Count: aEnd - prevA},
+		B: Partition{Start: prevB, Count: bEnd - prevB},
+	})
+}
+
+// gallopLower returns the first index i in [from, len(vals)) with
+// vals[i] >= v, assuming vals is sorted ascending from `from` on. It gallops
+// (doubling steps) before the binary search, so successive searches with
+// increasing `from` cost O(log distance) rather than O(log n) each.
+func gallopLower(vals []uint64, from int, v uint64) int {
+	if from >= len(vals) || vals[from] >= v {
+		return from
+	}
+	// Invariant: vals[lo] < v. Double the step until the probe reaches >= v
+	// or the end of the slice.
+	lo, step := from, 1
+	for lo+step < len(vals) && vals[lo+step] < v {
+		lo += step
+		step <<= 1
+	}
+	hi := lo + step
+	if hi > len(vals) {
+		hi = len(vals)
+	}
+	// Binary search in (lo, hi]: vals[lo] < v, vals[hi] >= v (or hi == len).
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if vals[mid] < v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}

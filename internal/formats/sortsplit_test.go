@@ -1,0 +1,219 @@
+package formats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// checkPairsTile verifies the structural invariants of a SplitSortedAligned
+// result: the A partitions tile a exactly, the B partitions tile b exactly,
+// and every cut is value-disjoint in both inputs — each element before the
+// cut (in a AND b) is strictly below each element at or after it, which also
+// means no duplicate run is ever split across a boundary.
+func checkPairsTile(t *testing.T, a, b []uint64, pairs []RangePair) {
+	t.Helper()
+	offA, offB := 0, 0
+	for k, p := range pairs {
+		if p.A.Start != offA || p.B.Start != offB {
+			t.Fatalf("pair %d: starts (%d,%d), want (%d,%d)", k, p.A.Start, p.B.Start, offA, offB)
+		}
+		if p.A.Count < 0 || p.B.Count < 0 {
+			t.Fatalf("pair %d: negative count", k)
+		}
+		offA += p.A.Count
+		offB += p.B.Count
+		if k == 0 {
+			continue
+		}
+		// Largest value before the cut vs smallest value at/after it, over
+		// both inputs; empty sides impose no constraint.
+		hasLeft, hasRight := false, false
+		var left, right uint64
+		if p.A.Start > 0 {
+			hasLeft, left = true, a[p.A.Start-1]
+		}
+		if p.B.Start > 0 && (!hasLeft || b[p.B.Start-1] > left) {
+			hasLeft, left = true, b[p.B.Start-1]
+		}
+		if p.A.Count > 0 {
+			hasRight, right = true, a[p.A.Start]
+		}
+		if p.B.Count > 0 && (!hasRight || b[p.B.Start] < right) {
+			hasRight, right = true, b[p.B.Start]
+		}
+		if hasLeft && hasRight && left >= right {
+			t.Fatalf("pair %d: cut not value-disjoint (%d before >= %d after)", k, left, right)
+		}
+	}
+	if offA != len(a) || offB != len(b) {
+		t.Fatalf("pairs tile (%d,%d), want (%d,%d)", offA, offB, len(a), len(b))
+	}
+}
+
+func TestSplitSortedAlignedShapes(t *testing.T) {
+	n := 6 * MinMorsel
+	asc := make([]uint64, n)
+	for i := range asc {
+		asc[i] = uint64(2 * i)
+	}
+	rng := rand.New(rand.NewSource(3))
+	jitter := make([]uint64, n)
+	for i := range jitter {
+		jitter[i] = uint64(rng.Intn(n / 2))
+	}
+	sort.Slice(jitter, func(i, j int) bool { return jitter[i] < jitter[j] })
+	dupes := make([]uint64, n)
+	for i := range dupes {
+		dupes[i] = uint64(i / 701) // runs longer than a minimum morsel fraction
+	}
+	one := make([]uint64, n)
+	for i := range one {
+		one[i] = 42
+	}
+	cases := []struct {
+		name string
+		a, b []uint64
+	}{
+		{"asc_vs_jitter", asc, jitter},
+		{"jitter_vs_asc", jitter, asc},
+		{"duplicate_runs", dupes, jitter},
+		{"dup_vs_dup", dupes, dupes},
+		{"empty_b", asc, nil},
+		{"b_above_a", asc, []uint64{1 << 40}},
+		{"b_below_a", jitter[:n], []uint64{0, 0, 0}},
+	}
+	for _, tc := range cases {
+		for _, p := range []int{2, 3, 8} {
+			pairs := SplitSortedAligned(tc.a, tc.b, p)
+			if pairs == nil {
+				t.Fatalf("%s p=%d: expected a split", tc.name, p)
+			}
+			checkPairsTile(t, tc.a, tc.b, pairs)
+		}
+	}
+	// A constant a still splits when b offers boundaries (the b-side
+	// refinement samples them), but two constant inputs admit no value
+	// boundary at all.
+	if pairs := SplitSortedAligned(one, asc, 4); pairs != nil {
+		checkPairsTile(t, one, asc, pairs)
+	}
+	if pairs := SplitSortedAligned(one, one, 4); pairs != nil {
+		t.Fatalf("two constant inputs must not split, got %d pairs", len(pairs))
+	}
+}
+
+// TestSplitSortedAlignedBSkew pins the b-side refinement: when the second
+// input concentrates its bulk between two of a's sampled boundaries (here:
+// everything in b sits below a's first value), the oversized b range must be
+// subdivided with boundaries sampled from b instead of collapsing the whole
+// workload into one pair.
+func TestSplitSortedAlignedBSkew(t *testing.T) {
+	n := 8 * MinMorsel
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = uint64(1<<30 + i) // all of a far above all of b
+	}
+	b := make([]uint64, 8*n)
+	for i := range b {
+		b[i] = uint64(i)
+	}
+	pairs := SplitSortedAligned(a, b, 4)
+	if pairs == nil {
+		t.Fatal("expected a split")
+	}
+	checkPairsTile(t, a, b, pairs)
+	maxB := 0
+	for _, p := range pairs {
+		if p.B.Count > maxB {
+			maxB = p.B.Count
+		}
+	}
+	// Without the refinement, all of b lands in the first pair (a's sampled
+	// boundaries are all above b); with it, no range may hold more than an
+	// even share plus the morsel-granularity slack.
+	nRanges := 4 * morselsPerWorker
+	if cap := len(a) / MinMorsel; nRanges > cap {
+		nRanges = cap
+	}
+	if limit := len(b)/nRanges + 2*MinMorsel; maxB > limit {
+		t.Errorf("largest b range holds %d of %d elements (limit ~%d) — skewed b not subdivided", maxB, len(b), limit)
+	}
+}
+
+func TestSplitSortedAlignedDegenerate(t *testing.T) {
+	small := make([]uint64, 2*MinMorsel-1)
+	for i := range small {
+		small[i] = uint64(i)
+	}
+	if SplitSortedAligned(small, small, 8) != nil {
+		t.Error("input below the split threshold must not split")
+	}
+	if SplitSortedAligned(nil, small, 8) != nil {
+		t.Error("empty first input must not split")
+	}
+	big := make([]uint64, 4*MinMorsel)
+	for i := range big {
+		big[i] = uint64(i)
+	}
+	if SplitSortedAligned(big, big, 1) != nil {
+		t.Error("p=1 must not split")
+	}
+	if SplitSortedAligned(big, big, 0) != nil {
+		t.Error("p=0 must not split")
+	}
+}
+
+// TestSplitSortedAlignedSingleElementRanges drives the range count to the
+// cap so individual ranges shrink to the minimum; with a heavily duplicated
+// tail most candidate boundaries collapse and some surviving ranges hold a
+// single distinct value.
+func TestSplitSortedAlignedSingleElementRanges(t *testing.T) {
+	n := 2 * MinMorsel
+	vals := make([]uint64, n)
+	for i := range vals {
+		if i < 4 {
+			vals[i] = uint64(i) // a few distinct singletons up front
+		} else {
+			vals[i] = 1 << 20 // one giant duplicate run
+		}
+	}
+	pairs := SplitSortedAligned(vals, vals[:1], 8)
+	if pairs == nil {
+		t.Skip("range cap collapsed the split entirely (acceptable)")
+	}
+	checkPairsTile(t, vals, vals[:1], pairs)
+}
+
+func TestGallopLower(t *testing.T) {
+	vals := []uint64{1, 3, 3, 3, 7, 9, 9, 120, 4000}
+	cases := []struct {
+		from int
+		v    uint64
+		want int
+	}{
+		{0, 0, 0}, {0, 1, 0}, {0, 2, 1}, {0, 3, 1}, {0, 4, 4},
+		{2, 3, 2}, {2, 8, 5}, {0, 9, 5}, {0, 10, 7}, {0, 121, 8},
+		{0, 5000, 9}, {9, 1, 9}, {8, 4000, 8},
+	}
+	for _, tc := range cases {
+		if got := gallopLower(vals, tc.from, tc.v); got != tc.want {
+			t.Errorf("gallopLower(from=%d, v=%d) = %d, want %d", tc.from, tc.v, got, tc.want)
+		}
+	}
+	// Cross-check against sort.Search on random sorted data.
+	rng := rand.New(rand.NewSource(8))
+	big := make([]uint64, 5000)
+	for i := range big {
+		big[i] = uint64(rng.Intn(2000))
+	}
+	sort.Slice(big, func(i, j int) bool { return big[i] < big[j] })
+	for trial := 0; trial < 500; trial++ {
+		from := rng.Intn(len(big) + 1)
+		v := uint64(rng.Intn(2100))
+		want := from + sort.Search(len(big)-from, func(i int) bool { return big[from+i] >= v })
+		if got := gallopLower(big, from, v); got != want {
+			t.Fatalf("gallopLower(from=%d, v=%d) = %d, want %d", from, v, got, want)
+		}
+	}
+}

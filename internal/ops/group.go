@@ -113,8 +113,16 @@ func GroupNext(prevGids, keys *columns.Column, outGids, outExtents columns.Forma
 		if ng != nk {
 			return nil, nil, fmt.Errorf("ops: group: input columns diverge (%d vs %d elements)", ng, nk)
 		}
+		// The parent gid arrives in runs (refinement keeps prior group
+		// order), so its hash mix is hoisted out of the per-row probe and
+		// recomputed only when the run changes; the zero initialization is
+		// consistent because 0*hashMul == 0.
+		var lastG, lastMix uint64
 		for i := 0; i < ng; i++ {
-			gid, inserted := ht.getOrPut(bufG[i], bufK[i], nGroups)
+			if bufG[i] != lastG {
+				lastG, lastMix = bufG[i], bufG[i]*hashMul
+			}
+			gid, inserted := ht.getOrPutMixed(lastMix, bufG[i], bufK[i], nGroups)
 			if inserted {
 				ext = append(ext, base+uint64(i))
 				nGroups++

@@ -117,6 +117,7 @@ func (rt Runtime) Select(in *columns.Column, op bitutil.CmpKind, val uint64, out
 	}
 	parts := formats.SplitColumnMorsels(in, rt.Par())
 	if parts == nil {
+		rt.seqFallback()
 		return Select(in, op, val, out, style)
 	}
 	return rt.parSelect(in, parts, op, val, out, style)
@@ -141,6 +142,7 @@ func (rt Runtime) SelectAuto(in *columns.Column, op bitutil.CmpKind, val uint64,
 	}
 	parts := formats.SplitColumnMorsels(in, rt.Par())
 	if parts == nil {
+		rt.seqFallback()
 		return SelectAuto(in, op, val, out, style, specialized)
 	}
 	if specialized && parSwarOK(in, val) {
@@ -186,6 +188,7 @@ func (rt Runtime) SelectBetween(in *columns.Column, lo, hi uint64, out columns.F
 	}
 	parts := formats.SplitColumnMorsels(in, rt.Par())
 	if parts == nil {
+		rt.seqFallback()
 		return SelectBetween(in, lo, hi, out, style)
 	}
 	return rt.parSelectBetween(in, parts, lo, hi, out, style)
@@ -208,6 +211,7 @@ func (rt Runtime) SelectBetweenAuto(in *columns.Column, lo, hi uint64, out colum
 	}
 	parts := formats.SplitColumnMorsels(in, rt.Par())
 	if parts == nil {
+		rt.seqFallback()
 		return SelectBetweenAuto(in, lo, hi, out, style, specialized)
 	}
 	if specialized && parSwarOK(in, lo) {
@@ -257,6 +261,7 @@ func (rt Runtime) Project(data, pos *columns.Column, out columns.FormatDesc, sty
 	}
 	parts := formats.SplitColumnMorsels(pos, rt.Par())
 	if parts == nil {
+		rt.seqFallback()
 		return Project(data, pos, out, style)
 	}
 	dst := make([]uint64, pos.N())
@@ -319,6 +324,7 @@ func (rt Runtime) SemiJoin(probe, build *columns.Column, out columns.FormatDesc,
 	}
 	parts := formats.SplitColumnMorsels(probe, rt.Par())
 	if parts == nil {
+		rt.seqFallback()
 		return SemiJoin(probe, build, out, style)
 	}
 	ht, err := buildMembershipTable(build)
@@ -364,6 +370,7 @@ func (rt Runtime) Sum(in *columns.Column, style vector.Style) (uint64, *columns.
 	}
 	parts := formats.SplitColumnMorsels(in, rt.Par())
 	if parts == nil {
+		rt.seqFallback()
 		return SumWhole(in, style)
 	}
 	return rt.parSum(in, parts, style)
@@ -388,6 +395,7 @@ func (rt Runtime) SumAuto(in *columns.Column, style vector.Style, specialized bo
 	}
 	parts := formats.SplitColumnMorsels(in, rt.Par())
 	if parts == nil {
+		rt.seqFallback()
 		return SumAuto(in, style, specialized)
 	}
 	if specialized {
@@ -423,6 +431,7 @@ func (rt Runtime) JoinN1(probeKeys, buildKeys *columns.Column, outProbe, outBuil
 	}
 	parts := formats.SplitColumnMorsels(probeKeys, rt.Par())
 	if parts == nil {
+		rt.seqFallback()
 		return JoinN1(probeKeys, buildKeys, outProbe, outBuild, style)
 	}
 	ht, err := buildJoinTable(buildKeys)
@@ -481,6 +490,7 @@ func (rt Runtime) CalcBinary(op CalcKind, a, b *columns.Column, out columns.Form
 	}
 	parts := formats.SplitColumnsAlignedMorsels(a, b, rt.Par())
 	if parts == nil {
+		rt.seqFallback()
 		return CalcBinary(op, a, b, out, style)
 	}
 	dst := make([]uint64, a.N())
@@ -534,6 +544,7 @@ func (rt Runtime) SumGrouped(gids, vals *columns.Column, nGroups int, style vect
 	// groupings run sequentially.
 	workers := rt.workers(len(parts))
 	if parts == nil || nGroups > gids.N()/workers {
+		rt.seqFallback()
 		return SumGrouped(gids, vals, nGroups, style)
 	}
 	partials := make([][]uint64, workers)

@@ -1,0 +1,283 @@
+package ops
+
+import (
+	"fmt"
+	"sort"
+
+	"morphstore/internal/columns"
+	"morphstore/internal/formats"
+	"morphstore/internal/vector"
+)
+
+// This file implements the morsel-parallel grouping drivers. Grouping is
+// order-dependent — group ids are assigned in order of first key occurrence —
+// so the drivers run in three phases:
+//
+//  1. Build (parallel): workers claim morsels from the atomic work queue and
+//     hash every key into a per-worker group table, staging worker-local
+//     group ids per morsel. Because the queue hands out morsels in ascending
+//     index order, a worker meets its keys in ascending global position
+//     order, so the first position it records per local group is the minimum
+//     over all morsels that worker claimed.
+//  2. Merge (sequential, deterministic): the per-worker tables are folded
+//     into one global table keeping the minimum first-occurrence position per
+//     distinct key — the minimum over the per-worker minima is the global
+//     first occurrence, independent of which worker claimed which morsel.
+//     Sorting the distinct keys by that position yields exactly the
+//     sequential operator's id order and extents column.
+//  3. Remap + stitch (parallel): each morsel's staged local ids are rewritten
+//     through its worker's local-to-canonical map, and the rewritten id
+//     stream is finished through the parallel compressed stitch — the result
+//     columns are byte-identical to the sequential operator's at every
+//     parallelism level.
+
+// groupBuild accumulates one worker's grouping state: a hash table from key
+// to worker-local group id plus, per local id, the key and its first global
+// position seen by this worker.
+type groupBuild struct {
+	ht       *u64Map
+	keys     []uint64
+	firstPos []uint64
+}
+
+// pairBuild is the two-key (previous gid, key) form of groupBuild backing
+// the GroupNext refinement.
+type pairBuild struct {
+	ht       *pairMap
+	k1s, k2s []uint64
+	firstPos []uint64
+}
+
+// mergeBuilds is the shared sequential merge phase of both grouping drivers:
+// it folds the per-worker first-occurrence tables into canonical global ids.
+// nLocal reports worker w's local-id count (0 for a worker that claimed
+// nothing); firstPos returns the first position worker w recorded for local
+// id lid; probe getOrPuts worker w's local id lid into the caller's global
+// hash table with the given default entry index, returning the entry index
+// and whether it was new. The global first occurrence of a key is the
+// minimum over the per-worker minima — independent of which worker claimed
+// which morsel — and sorting the entries by that position yields exactly the
+// sequential operator's id order. Returns the extents (first-occurrence
+// positions in canonical order) and, per worker, the local-id -> canonical
+// global id remap table.
+func mergeBuilds(workers int, nLocal func(w int) int, firstPos func(w, lid int) uint64, probe func(w, lid int, def uint64) (uint64, bool)) (ext []uint64, remaps [][]uint64) {
+	var pos []uint64 // minimum first-occurrence position per entry index
+	remaps = make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		n := nLocal(w)
+		if n == 0 {
+			continue
+		}
+		remap := make([]uint64, n)
+		for lid := 0; lid < n; lid++ {
+			p := firstPos(w, lid)
+			ei, inserted := probe(w, lid, uint64(len(pos)))
+			if inserted {
+				pos = append(pos, p)
+			} else if p < pos[ei] {
+				pos[ei] = p
+			}
+			remap[lid] = ei
+		}
+		remaps[w] = remap
+	}
+	// Canonical order: ascending first-occurrence position (positions are
+	// unique, so the sort is a strict total order).
+	perm := make([]int, len(pos))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(i, j int) bool { return pos[perm[i]] < pos[perm[j]] })
+	ext = make([]uint64, len(perm))
+	rankOf := make([]uint64, len(perm))
+	for r, ei := range perm {
+		ext[r] = pos[ei]
+		rankOf[ei] = uint64(r)
+	}
+	for _, remap := range remaps {
+		for lid, ei := range remap {
+			remap[lid] = rankOf[ei]
+		}
+	}
+	return ext, remaps
+}
+
+// ParGroupFirst is the morsel-parallel form of GroupFirst: per-worker hash
+// group tables, a deterministic merge assigning canonical global ids in
+// first-occurrence order, and a remap pass rewriting the staged local ids.
+// Both outputs are byte-identical to GroupFirst at every par.
+func ParGroupFirst(keys *columns.Column, outGids, outExtents columns.FormatDesc, style vector.Style, par int) (gids, extents *columns.Column, err error) {
+	return FixedRT(par).GroupFirst(keys, outGids, outExtents, style)
+}
+
+// GroupFirst is the runtime form of ParGroupFirst.
+func (rt Runtime) GroupFirst(keys *columns.Column, outGids, outExtents columns.FormatDesc, style vector.Style) (gids, extents *columns.Column, err error) {
+	if err := checkCols(keys); err != nil {
+		return nil, nil, err
+	}
+	if err := rt.Err(); err != nil {
+		return nil, nil, err
+	}
+	parts := formats.SplitColumnMorsels(keys, rt.Par())
+	if parts == nil {
+		rt.seqFallback()
+		return GroupFirst(keys, outGids, outExtents, style)
+	}
+
+	// Phase 1: per-worker hash build over work-queue morsels.
+	workers := rt.workers(len(parts))
+	builds := make([]*groupBuild, workers)
+	chunks := make([][]uint64, len(parts))
+	morselWorker := make([]int, len(parts))
+	err = rt.runParts(parts, func(w, i int, pt formats.Partition) error {
+		b := builds[w]
+		if b == nil {
+			b = &groupBuild{ht: newU64Map(1024)}
+			builds[w] = b
+		}
+		local := make([]uint64, 0, pt.Count)
+		if err := streamSection(keys, pt, func(vals []uint64, base uint64) error {
+			for j, v := range vals {
+				lid, inserted := b.ht.getOrPut(v, uint64(len(b.keys)))
+				if inserted {
+					b.keys = append(b.keys, v)
+					b.firstPos = append(b.firstPos, base+uint64(j))
+				}
+				local = append(local, lid)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		chunks[i] = local
+		morselWorker[i] = w
+		return nil
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("ops: parallel group: %w", err)
+	}
+
+	// Phase 2: deterministic merge into canonical first-occurrence order.
+	gt := newU64Map(1024)
+	ext, remaps := mergeBuilds(workers,
+		func(w int) int {
+			if builds[w] == nil {
+				return 0
+			}
+			return len(builds[w].keys)
+		},
+		func(w, lid int) uint64 { return builds[w].firstPos[lid] },
+		func(w, lid int, def uint64) (uint64, bool) { return gt.getOrPut(builds[w].keys[lid], def) })
+
+	// Phase 3: rewrite the staged local ids and stitch.
+	return rt.finishGroup(chunks, morselWorker, remaps, ext, keys.N(), outGids, outExtents)
+}
+
+// ParGroupNext is the morsel-parallel form of GroupNext, refining an
+// existing grouping with an additional key column under the same
+// build/merge/remap scheme keyed on (previous gid, key) pairs.
+func ParGroupNext(prevGids, keys *columns.Column, outGids, outExtents columns.FormatDesc, style vector.Style, par int) (gids, extents *columns.Column, err error) {
+	return FixedRT(par).GroupNext(prevGids, keys, outGids, outExtents, style)
+}
+
+// GroupNext is the runtime form of ParGroupNext.
+func (rt Runtime) GroupNext(prevGids, keys *columns.Column, outGids, outExtents columns.FormatDesc, style vector.Style) (gids, extents *columns.Column, err error) {
+	if err := checkCols(prevGids, keys); err != nil {
+		return nil, nil, err
+	}
+	if err := rt.Err(); err != nil {
+		return nil, nil, err
+	}
+	if prevGids.N() != keys.N() {
+		return nil, nil, fmt.Errorf("ops: group: gid column has %d elements, keys %d", prevGids.N(), keys.N())
+	}
+	parts := formats.SplitColumnsAlignedMorsels(prevGids, keys, rt.Par())
+	if parts == nil {
+		rt.seqFallback()
+		return GroupNext(prevGids, keys, outGids, outExtents, style)
+	}
+
+	workers := rt.workers(len(parts))
+	builds := make([]*pairBuild, workers)
+	chunks := make([][]uint64, len(parts))
+	morselWorker := make([]int, len(parts))
+	err = rt.runParts(parts, func(w, i int, pt formats.Partition) error {
+		b := builds[w]
+		if b == nil {
+			b = &pairBuild{ht: newPairMap(1024)}
+			builds[w] = b
+		}
+		local := make([]uint64, 0, pt.Count)
+		if err := streamSections(prevGids, keys, pt, func(gs, ks []uint64, base uint64) error {
+			// The parent-key mix is hoisted per run of equal parent gids;
+			// the zero initialization is consistent (0*hashMul == 0).
+			var lastG, lastMix uint64
+			for j, g := range gs {
+				if g != lastG {
+					lastG, lastMix = g, g*hashMul
+				}
+				lid, inserted := b.ht.getOrPutMixed(lastMix, g, ks[j], uint64(len(b.k1s)))
+				if inserted {
+					b.k1s = append(b.k1s, g)
+					b.k2s = append(b.k2s, ks[j])
+					b.firstPos = append(b.firstPos, base+uint64(j))
+				}
+				local = append(local, lid)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		chunks[i] = local
+		morselWorker[i] = w
+		return nil
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("ops: parallel group: %w", err)
+	}
+
+	gt := newPairMap(1024)
+	ext, remaps := mergeBuilds(workers,
+		func(w int) int {
+			if builds[w] == nil {
+				return 0
+			}
+			return len(builds[w].k1s)
+		},
+		func(w, lid int) uint64 { return builds[w].firstPos[lid] },
+		func(w, lid int, def uint64) (uint64, bool) {
+			return gt.getOrPut(builds[w].k1s[lid], builds[w].k2s[lid], def)
+		})
+
+	return rt.finishGroup(chunks, morselWorker, remaps, ext, keys.N(), outGids, outExtents)
+}
+
+// finishGroup runs the remap pass (parallel, one task per staged morsel
+// chunk) and materializes the canonical gid stream and extents in their
+// output formats, matching the sequential writers byte for byte.
+func (rt Runtime) finishGroup(chunks [][]uint64, morselWorker []int, remaps [][]uint64, ext []uint64, n int, outGids, outExtents columns.FormatDesc) (gids, extents *columns.Column, err error) {
+	err = rt.runTasks(len(chunks), func(_, i int) error {
+		remap := remaps[morselWorker[i]]
+		chunk := chunks[i]
+		for j, lid := range chunk {
+			chunk[j] = remap[lid]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("ops: parallel group: %w", err)
+	}
+	gids, err = rt.stitchCompressed(outGids, n, chunks)
+	if err != nil {
+		return nil, nil, err
+	}
+	we, err := formats.NewWriter(outExtents, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := we.Write(ext); err != nil {
+		return nil, nil, err
+	}
+	extents, err = we.Close()
+	return gids, extents, err
+}

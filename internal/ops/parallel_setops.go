@@ -1,0 +1,185 @@
+package ops
+
+import (
+	"fmt"
+
+	"morphstore/internal/columns"
+	"morphstore/internal/formats"
+)
+
+// This file implements the value-range-parallel drivers of the sorted-set
+// operators. Intersect/merge carry no state across elements other than the
+// two cursors, so cutting BOTH inputs at one shared set of boundary values
+// (formats.SplitSortedAligned: boundary values sampled from the first input,
+// cut points located by galloping lower-bound searches) yields range pairs
+// that can be processed independently: concatenating the per-range results
+// in range order reproduces the sequential two-pointer merge exactly,
+// duplicates included. The per-range outputs are finished through the
+// parallel compressed stitch, so the result column is byte-identical to the
+// sequential operator's at every parallelism level.
+//
+// Unlike the morsel drivers, the range cuts are value positions, not
+// block-aligned element positions, so both inputs are materialized as value
+// slices first (zero-copy for uncompressed inputs). That also makes the
+// parallel path total over formats — RLE inputs, which cannot be
+// morsel-split, still partition by value range.
+
+// splitSortedInputs materializes both sorted inputs and cuts them at shared
+// value boundaries; a nil pair list sends the caller to the sequential
+// operator (par <= 1, or the first input too small to be worth splitting).
+// The two decompressions run as concurrent budget-slot tasks (they are real
+// work, so they count against the engine allowance, and decompressing them
+// in parallel halves the serial tail ahead of the range kernels); the
+// coarsest cancellation window of the sorted-set drivers is therefore one
+// full-column decompress rather than one morsel.
+func (rt Runtime) splitSortedInputs(a, b *columns.Column) ([]formats.RangePair, []uint64, []uint64, error) {
+	// Intersection and union are symmetric in their operands, so the larger
+	// input goes first: it drives the boundary sampling and the size gate,
+	// and a tiny first operand cannot force a huge second one sequential.
+	if a.N() < b.N() {
+		a, b = b, a
+	}
+	if rt.Par() <= 1 || a.N() < 2*formats.MinMorsel {
+		return nil, nil, nil, nil
+	}
+	cols := [2]*columns.Column{a, b}
+	var vals [2][]uint64
+	if err := rt.runTasks(2, func(_, i int) error {
+		v, err := readAll(cols[i])
+		vals[i] = v
+		return err
+	}); err != nil {
+		return nil, nil, nil, err
+	}
+	return formats.SplitSortedAligned(vals[0], vals[1], rt.Par()), vals[0], vals[1], nil
+}
+
+// ParIntersect is the value-range-parallel form of IntersectSorted: both
+// sorted inputs are split at shared value boundaries and the per-range
+// intersections are concatenated in range order. The result is
+// byte-identical to IntersectSorted at every par.
+func ParIntersect(a, b *columns.Column, out columns.FormatDesc, par int) (*columns.Column, error) {
+	return FixedRT(par).Intersect(a, b, out)
+}
+
+// Intersect is the runtime form of ParIntersect.
+func (rt Runtime) Intersect(a, b *columns.Column, out columns.FormatDesc) (*columns.Column, error) {
+	if err := checkCols(a, b); err != nil {
+		return nil, err
+	}
+	if err := rt.Err(); err != nil {
+		return nil, err
+	}
+	pairs, avals, bvals, err := rt.splitSortedInputs(a, b)
+	if err != nil {
+		return nil, err
+	}
+	if pairs == nil {
+		if avals == nil {
+			rt.seqFallback()
+			return IntersectSorted(a, b, out)
+		}
+		// The inputs are already materialized but admit no value boundary
+		// (e.g. one giant duplicate run); run the slice kernel whole rather
+		// than decompressing a second time through the streamed operator.
+		// The kernel is one serial pass, so the lease shrinks like every
+		// other sequential fallback (the stitch of its output serializes
+		// behind the shrunken lease, a minor loss next to the serial scan).
+		rt.seqFallback()
+		return rt.stitchCompressed(out, min(a.N(), b.N()), [][]uint64{intersectValues(avals, bvals)})
+	}
+	results := make([][]uint64, len(pairs))
+	err = rt.runTasks(len(pairs), func(_, i int) error {
+		p := pairs[i]
+		results[i] = intersectValues(
+			avals[p.A.Start:p.A.Start+p.A.Count],
+			bvals[p.B.Start:p.B.Start+p.B.Count])
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ops: parallel intersect: %w", err)
+	}
+	return rt.stitchCompressed(out, min(a.N(), b.N()), results)
+}
+
+// ParMerge is the value-range-parallel form of MergeSorted.
+func ParMerge(a, b *columns.Column, out columns.FormatDesc, par int) (*columns.Column, error) {
+	return FixedRT(par).Merge(a, b, out)
+}
+
+// Merge is the runtime form of ParMerge.
+func (rt Runtime) Merge(a, b *columns.Column, out columns.FormatDesc) (*columns.Column, error) {
+	if err := checkCols(a, b); err != nil {
+		return nil, err
+	}
+	if err := rt.Err(); err != nil {
+		return nil, err
+	}
+	pairs, avals, bvals, err := rt.splitSortedInputs(a, b)
+	if err != nil {
+		return nil, err
+	}
+	if pairs == nil {
+		if avals == nil {
+			rt.seqFallback()
+			return MergeSorted(a, b, out)
+		}
+		rt.seqFallback()
+		return rt.stitchCompressed(out, a.N()+b.N(), [][]uint64{mergeValues(avals, bvals)})
+	}
+	results := make([][]uint64, len(pairs))
+	err = rt.runTasks(len(pairs), func(_, i int) error {
+		p := pairs[i]
+		results[i] = mergeValues(
+			avals[p.A.Start:p.A.Start+p.A.Count],
+			bvals[p.B.Start:p.B.Start+p.B.Count])
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ops: parallel merge: %w", err)
+	}
+	return rt.stitchCompressed(out, a.N()+b.N(), results)
+}
+
+// intersectValues is the slice form of the IntersectSorted kernel; it must
+// mirror the streamed operator element for element (including duplicate
+// handling) so the concatenated ranges stay byte-identical.
+func intersectValues(a, b []uint64) []uint64 {
+	dst := make([]uint64, 0, min(len(a), len(b))/4+16)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case b[j] < a[i]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// mergeValues is the slice form of the MergeSorted kernel (sorted union;
+// an element present in both inputs is emitted once).
+func mergeValues(a, b []uint64) []uint64 {
+	dst := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case i < len(a) && (j >= len(b) || a[i] < b[j]):
+			dst = append(dst, a[i])
+			i++
+		case j < len(b) && (i >= len(a) || b[j] < a[i]):
+			dst = append(dst, b[j])
+			j++
+		default: // equal
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}

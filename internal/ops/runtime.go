@@ -124,6 +124,25 @@ func (l *Lease) Close() {
 	b.redivide()
 }
 
+// Shrink lowers the lease's worker cap (never below one, never raising it)
+// and re-divides the budget, so an operator that turns out to run
+// sequentially — an input that cannot be split — hands its unusable share
+// to concurrently running siblings immediately instead of stranding it for
+// the operator's whole runtime.
+func (l *Lease) Shrink(cap int) {
+	if cap < 1 {
+		cap = 1
+	}
+	b := l.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if cap >= l.cap {
+		return
+	}
+	l.cap = cap
+	b.redivide()
+}
+
 // acquire blocks until the lease has a free worker slot; it returns false
 // when ctx is cancelled. A waiter re-checks ctx on every slot release and on
 // every re-division, so cancellation is noticed within one morsel.
@@ -201,6 +220,16 @@ func (rt Runtime) Err() error {
 // workers bounds the worker-goroutine count for a task list.
 func (rt Runtime) workers(tasks int) int { return workerCount(rt.Par(), tasks) }
 
+// seqFallback records that the operator runs sequentially from here on
+// (unsplittable input): the budget lease, if any, shrinks to one worker so
+// the surplus flows to sibling operators. The drivers call it on every
+// sequential-fallback path.
+func (rt Runtime) seqFallback() {
+	if rt.lease != nil {
+		rt.lease.Shrink(1)
+	}
+}
+
 // runParts executes fn for every partition, claimed in index order from an
 // atomic work-queue cursor by at most rt.Par() worker goroutines. fn receives
 // the claiming worker's index (for reusing per-worker scratch: one worker
@@ -243,7 +272,7 @@ func (rt Runtime) runParts(parts []formats.Partition, fn func(worker, i int, pt 
 	}
 	wg.Wait()
 	if int(completed.Load()) < len(parts) {
-		// Only cancellation leaves partitions unclaimed.
+		// Only cancellation leaves tasks unclaimed.
 		return rt.Err()
 	}
 	for _, err := range errs {
@@ -252,4 +281,20 @@ func (rt Runtime) runParts(parts []formats.Partition, fn func(worker, i int, pt 
 		}
 	}
 	return nil
+}
+
+// runTasks is the task-index form of runParts for work lists that are not
+// column partitions (sorted-set range pairs, remap passes): tasks 0..n-1 are
+// claimed in index order from the atomic work-queue cursor under the same
+// budget and cancellation rules. Because claims are monotonically increasing,
+// one worker always processes its tasks in ascending index order — the
+// parallel grouping relies on this to record per-worker first occurrences.
+// It wraps runParts over placeholder partitions (task lists are small, a few
+// entries per worker) rather than the other way around: runParts is on the
+// hot path of every morsel driver, and keeping its frame exactly as the
+// callers compiled against measurably matters to the sequential fallbacks.
+func (rt Runtime) runTasks(n int, fn func(worker, i int) error) error {
+	return rt.runParts(make([]formats.Partition, n), func(w, i int, _ formats.Partition) error {
+		return fn(w, i)
+	})
 }

@@ -64,6 +64,28 @@ func TestBudgetCappedLeases(t *testing.T) {
 	par.Close()
 }
 
+// TestBudgetShrink: an operator that falls back to sequential execution
+// shrinks its lease to one worker and the freed share flows to siblings
+// immediately (the seqFallback path of the parallel drivers).
+func TestBudgetShrink(t *testing.T) {
+	b := NewBudget(8)
+	fallback := b.Lease(8)
+	par := b.Lease(8)
+	if got := limits(fallback, par); got[0] != 4 || got[1] != 4 {
+		t.Fatalf("pre-shrink = %v, want [4 4]", got)
+	}
+	fallback.Shrink(1)
+	if got := limits(fallback, par); got[0] != 1 || got[1] != 7 {
+		t.Fatalf("post-shrink = %v, want [1 7]", got)
+	}
+	fallback.Shrink(5) // shrink never raises the cap
+	if got := limits(fallback, par); got[0] != 1 || got[1] != 7 {
+		t.Fatalf("raise attempt = %v, want [1 7]", got)
+	}
+	fallback.Close()
+	par.Close()
+}
+
 // TestBudgetMinimumOne: more operators than slots still make progress.
 func TestBudgetMinimumOne(t *testing.T) {
 	b := NewBudget(2)

@@ -263,11 +263,64 @@ func Intersect(a, b *Column, out FormatDesc) (*Column, error) {
 	return ops.IntersectSorted(a, b, out)
 }
 
+// ParIntersect is the value-range-parallel form of Intersect: both sorted
+// inputs are split at shared value boundaries and the per-range
+// intersections are concatenated in range order, byte-identical to
+// Intersect at every par.
+//
+// Deprecated: Use Engine.Intersect with WithParallelism(par).
+func ParIntersect(a, b *Column, out FormatDesc, par int) (*Column, error) {
+	return ops.ParIntersect(a, b, out, par)
+}
+
 // Union merges two sorted position lists without duplicates.
 //
 // Deprecated: Use Engine.Union(ctx, a, b, WithOutput(out)).
 func Union(a, b *Column, out FormatDesc) (*Column, error) {
 	return ops.MergeSorted(a, b, out)
+}
+
+// ParUnion is the value-range-parallel form of Union.
+//
+// Deprecated: Use Engine.Union with WithParallelism(par).
+func ParUnion(a, b *Column, out FormatDesc, par int) (*Column, error) {
+	return ops.ParMerge(a, b, out, par)
+}
+
+// GroupFirst assigns a dense group id (in order of first occurrence) to
+// every element of keys. It returns the per-row group ids and, per group,
+// the position of its first occurrence (the extents column; projecting the
+// key column with it yields the per-group key values).
+//
+// Deprecated: Use Engine.GroupFirst(ctx, keys, WithOutputs(outGids, outExtents), WithStyle(style)).
+func GroupFirst(keys *Column, outGids, outExtents FormatDesc, style Style) (gids, extents *Column, err error) {
+	return ops.GroupFirst(keys, outGids, outExtents, style)
+}
+
+// ParGroupFirst is the morsel-parallel form of GroupFirst: per-worker hash
+// group tables merged deterministically into canonical first-occurrence
+// group ids, byte-identical to GroupFirst at every par.
+//
+// Deprecated: Use Engine.GroupFirst with WithParallelism(par).
+func ParGroupFirst(keys *Column, outGids, outExtents FormatDesc, style Style, par int) (gids, extents *Column, err error) {
+	return ops.ParGroupFirst(keys, outGids, outExtents, style, par)
+}
+
+// GroupNext refines an existing grouping with an additional key column: rows
+// fall into the same output group iff they had the same previous group id
+// and the same new key (iterative multi-column grouping). Outputs follow the
+// GroupFirst conventions.
+//
+// Deprecated: Use Engine.GroupNext(ctx, prevGids, keys, WithOutputs(outGids, outExtents), WithStyle(style)).
+func GroupNext(prevGids, keys *Column, outGids, outExtents FormatDesc, style Style) (gids, extents *Column, err error) {
+	return ops.GroupNext(prevGids, keys, outGids, outExtents, style)
+}
+
+// ParGroupNext is the morsel-parallel form of GroupNext.
+//
+// Deprecated: Use Engine.GroupNext with WithParallelism(par).
+func ParGroupNext(prevGids, keys *Column, outGids, outExtents FormatDesc, style Style, par int) (gids, extents *Column, err error) {
+	return ops.ParGroupNext(prevGids, keys, outGids, outExtents, style, par)
 }
 
 // Calc combines two equal-length columns element-wise.

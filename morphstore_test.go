@@ -256,6 +256,60 @@ func TestFacadeParallelOps(t *testing.T) {
 	if wg.String() != gg.String() {
 		t.Fatalf("ParSumGrouped: %v, want %v", gg, wg)
 	}
+	wgf, wge, err := GroupFirst(FromValues(gids), DynBP, Uncompressed, Vec512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ggf, gge, err := ParGroupFirst(FromValues(gids), DynBP, Uncompressed, Vec512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wgf.String() != ggf.String() || wge.String() != gge.String() {
+		t.Fatal("ParGroupFirst outputs diverge from GroupFirst")
+	}
+	wgn, _, err := GroupNext(wgf, col, DynBP, Uncompressed, Vec512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ggn, _, err := ParGroupNext(ggf, col, DynBP, Uncompressed, Vec512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wgn.String() != ggn.String() {
+		t.Fatal("ParGroupNext diverges from GroupNext")
+	}
+	posA := make([]uint64, 0, len(vals))
+	posB := make([]uint64, 0, len(vals))
+	for i := range vals {
+		if i%2 == 0 {
+			posA = append(posA, uint64(i))
+		}
+		if i%3 == 0 {
+			posB = append(posB, uint64(i))
+		}
+	}
+	wi, err := Intersect(FromValues(posA), FromValues(posB), DeltaBP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, err := ParIntersect(FromValues(posA), FromValues(posB), DeltaBP, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wi.String() != gi.String() {
+		t.Fatal("ParIntersect diverges from Intersect")
+	}
+	wu, err := Union(FromValues(posA), FromValues(posB), DeltaBP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gu, err := ParUnion(FromValues(posA), FromValues(posB), DeltaBP, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wu.String() != gu.String() {
+		t.Fatal("ParUnion diverges from Union")
+	}
 }
 
 // TestFacadeFormats sanity-checks the format constructors.
