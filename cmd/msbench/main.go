@@ -26,6 +26,7 @@ import (
 	"morphstore/internal/core"
 	"morphstore/internal/costmodel"
 	"morphstore/internal/datagen"
+	"morphstore/internal/faultpoint"
 	"morphstore/internal/formats"
 	"morphstore/internal/morph"
 	"morphstore/internal/ops"
@@ -505,6 +506,22 @@ func run(b *bench, n int, seed int64, repeats, par int) error {
 		b.printf("conc=%-3d %8.1f queries/s\n", conc, qps)
 		b.record("multiquery", fmt.Sprintf("conc%d", conc), "qps", qps)
 	}
+
+	// Fault-point overhead: the per-call cost of a disarmed fault point (one
+	// atomic pointer load) on the morsel hot path. Informational — recorded
+	// so the cost of shipping the fault-injection harness in production
+	// builds stays visible, but never gated (classifyMetric: skip).
+	b.printf("\n-- fault-injection harness (disarmed) --\n")
+	const hits = 1 << 24
+	startHits := time.Now()
+	for i := 0; i < hits; i++ {
+		if err := faultpoint.MorselClaim.Hit(); err != nil {
+			return err
+		}
+	}
+	perHit := float64(time.Since(startHits).Nanoseconds()) / hits
+	b.printf("disarmed Hit: %6.2f ns/call over %d calls\n", perHit, hits)
+	b.record("faultpoint", "faultpoint_overhead", "ns_per_hit", perHit)
 	return nil
 }
 

@@ -1,0 +1,80 @@
+// Typed error taxonomy: every failure mode of a query execution maps onto
+// exactly one sentinel of this file, so callers can dispatch with errors.Is
+// regardless of which layer of the engine produced the failure:
+//
+//	res, err := q.Execute(ctx)
+//	switch {
+//	case errors.Is(err, morphstore.ErrCorruptData):
+//		// structurally invalid compressed data — quarantine the column
+//	case errors.Is(err, morphstore.ErrQueryTimeout):
+//		// the deadline (or WithQueryTimeout) fired — maybe retry smaller
+//	case errors.Is(err, morphstore.ErrQueryCanceled):
+//		// the caller's context was cancelled
+//	}
+//
+// A panic inside an operator kernel or worker goroutine is recovered and
+// isolated to the failing query — the engine, its prepared plans, and
+// concurrent queries stay fully usable — and surfaces as a *QueryError
+// recording the operator, the morsel index, the panic value, and the stack.
+package morphstore
+
+import (
+	"time"
+
+	"morphstore/internal/core"
+	"morphstore/internal/qerr"
+)
+
+// The sentinel errors of the taxonomy. Concrete failures wrap them with
+// contextual detail (column sizes, block offsets, limits); compare with
+// errors.Is.
+var (
+	// ErrCorruptData reports structurally invalid compressed data: an
+	// out-of-range bit width, a truncated block, an overflowing run length.
+	// Every corruption detected anywhere in the engine — decompression,
+	// sequential readers, random access, compressed concatenation — matches
+	// this sentinel.
+	ErrCorruptData = qerr.ErrCorruptData
+	// ErrQueryCanceled reports an execution stopped by context cancellation.
+	ErrQueryCanceled = qerr.ErrQueryCanceled
+	// ErrQueryTimeout reports an execution stopped by a context deadline,
+	// including one set with WithQueryTimeout.
+	ErrQueryTimeout = qerr.ErrQueryTimeout
+	// ErrMemoryLimit reports a plan whose prepare-time memory estimate
+	// exceeds the configured WithMemoryEstimateLimit.
+	ErrMemoryLimit = qerr.ErrMemoryLimit
+	// ErrAdmissionRejected reports a query that never started: its context
+	// fired while it was waiting at the engine's admission gate. It is always
+	// tagged alongside ErrQueryCanceled or ErrQueryTimeout.
+	ErrAdmissionRejected = qerr.ErrAdmissionRejected
+)
+
+// QueryError is a panic recovered inside a query execution, converted into
+// an error so one failing operator cannot take down the process or its
+// sibling queries. It records the operator, the morsel or task index inside
+// the operator (-1 when the panic was not morsel-scoped), the original panic
+// value, and the goroutine stack at recovery time. Retrieve it with
+// errors.As; when the panic value is itself an error, errors.Is sees through
+// to it.
+type QueryError = qerr.QueryError
+
+// WithQueryTimeout bounds one execution's wall-clock time: Execute derives a
+// deadline context, running morsel loops stop within one morsel when it
+// fires, and the returned error matches ErrQueryTimeout. The timeout covers
+// the admission wait. 0 means no deadline. Applies to NewEngine (default for
+// every execution), Prepare, and Execute.
+func WithQueryTimeout(d time.Duration) Option { return core.WithQueryTimeout(d) }
+
+// WithMemoryEstimateLimit bounds the conservative prepare-time estimate of
+// the intermediate bytes one execution can materialize (see
+// Prepared.MemoryEstimate). An over-limit plan fails Prepare with an error
+// matching ErrMemoryLimit — or, with WithMemoryLimitDegrade, prepares
+// degraded instead. 0 means unlimited. Applies to NewEngine and Prepare.
+func WithMemoryEstimateLimit(bytes int) Option { return core.WithMemoryEstimateLimit(bytes) }
+
+// WithMemoryLimitDegrade selects graceful degradation for plans over the
+// memory-estimate limit: instead of rejecting the plan, Prepare pins its
+// executions to sequential operator-at-a-time processing — the mode with the
+// smallest transient footprint. Prepared.Degraded reports the decision.
+// Applies to NewEngine and Prepare.
+func WithMemoryLimitDegrade(on bool) Option { return core.WithMemoryLimitDegrade(on) }

@@ -1,0 +1,194 @@
+package morphstore
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"morphstore/internal/columns"
+)
+
+// The corruption acceptance test: structurally invalid compressed columns —
+// whatever operator touches them, sequential or parallel, directly or inside
+// an engine execution — must surface an error matching ErrCorruptData, never
+// a panic or a silent wrong answer.
+
+// corruptVariants builds one corrupted column per corruption class, each
+// derived from a valid compressed column of ~4.5 blocks.
+func corruptVariants(t *testing.T) map[string]*Column {
+	t.Helper()
+	vals := make([]uint64, 4*512+300)
+	for i := range vals {
+		vals[i] = uint64(i / 3) // gently increasing: every codec accepts it
+	}
+	rebuild := func(desc FormatDesc, n, mainElems, mainWords int, words []uint64) *Column {
+		t.Helper()
+		col, err := columns.New(desc, n, mainElems, mainWords, words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return col
+	}
+	out := make(map[string]*Column)
+
+	// A truncated main part: the block data ends before the elements do.
+	dyn, err := Compress(vals, DynBP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := append(append([]uint64{}, dyn.MainWords()[:len(dyn.MainWords())-2]...), dyn.Remainder()...)
+	out["truncated block"] = rebuild(dyn.Desc(), dyn.N(), dyn.MainElems(), len(dyn.MainWords())-2, short)
+
+	// An out-of-range static bit width (70 > 64).
+	stat, err := Compress(vals, StaticBPWidth(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["oversized staticbp width"] = rebuild(StaticBPWidth(70), stat.N(), stat.MainElems(),
+		len(stat.MainWords()), append([]uint64{}, stat.Words()...))
+
+	// An RLE run length that overflows the column.
+	rle, err := Compress(vals, RLE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overflow := append([]uint64{}, rle.Words()...)
+	overflow[1] = 1 << 62
+	out["overflowing rle run"] = rebuild(rle.Desc(), rle.N(), rle.MainElems(), len(rle.MainWords()), overflow)
+
+	// An odd RLE word count: the trailing run lost its length word.
+	odd := append([]uint64{}, rle.Words()[:len(rle.Words())-1]...)
+	out["odd rle words"] = rebuild(rle.Desc(), rle.N(), rle.MainElems(), len(rle.MainWords())-1, odd)
+	return out
+}
+
+func TestCorruptColumnsMatchSentinel(t *testing.T) {
+	// Valid companions for the binary operators.
+	n := 4*512 + 300
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(i / 3)
+	}
+	valid := FromValues(vals)
+	// Positions covering every element: the sorted-set operators must then
+	// consume a corrupt operand to its end instead of early-exiting before
+	// they reach the damage.
+	pos, err := Select(valid, CmpLt, ^uint64(0), Uncompressed, Scalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ops := []struct {
+		name string
+		run  func(c *Column) error
+	}{
+		{"decompress", func(c *Column) error { _, err := Decompress(c); return err }},
+		{"concat", func(c *Column) error { _, err := ConcatCompressed(c.Desc(), []*Column{c, c}); return err }},
+		{"morph", func(c *Column) error { _, err := Morph(c, ForBP); return err }},
+		{"select", func(c *Column) error { _, err := Select(c, CmpLt, 50, Uncompressed, Scalar); return err }},
+		{"par select", func(c *Column) error { _, err := ParSelect(c, CmpLt, 50, DeltaBP, Scalar, 4); return err }},
+		{"between", func(c *Column) error { _, err := SelectBetween(c, 10, 90, Uncompressed, Scalar); return err }},
+		{"project data", func(c *Column) error { _, err := ParProject(c, pos, Uncompressed, Scalar, 4); return err }},
+		{"project pos", func(c *Column) error { _, err := ParProject(valid, c, Uncompressed, Scalar, 4); return err }},
+		{"sum", func(c *Column) error { _, err := Sum(c, Scalar); return err }},
+		{"par sum", func(c *Column) error { _, err := ParSum(c, Scalar, 4); return err }},
+		{"calc", func(c *Column) error { _, err := ParCalc(CalcAdd, c, valid, Uncompressed, Scalar, 4); return err }},
+		{"semijoin probe", func(c *Column) error { _, err := ParSemiJoin(c, valid, Uncompressed, Scalar, 4); return err }},
+		{"semijoin build", func(c *Column) error { _, err := ParSemiJoin(valid, c, Uncompressed, Scalar, 4); return err }},
+		{"join probe", func(c *Column) error {
+			_, _, err := ParJoinN1(c, valid, Uncompressed, Uncompressed, Scalar, 4)
+			return err
+		}},
+		{"intersect", func(c *Column) error { _, err := ParIntersect(c, pos, Uncompressed, 4); return err }},
+		{"union", func(c *Column) error { _, err := ParUnion(c, pos, Uncompressed, 4); return err }},
+		{"group", func(c *Column) error {
+			_, _, err := ParGroupFirst(c, Uncompressed, Uncompressed, Scalar, 4)
+			return err
+		}},
+		{"sum grouped", func(c *Column) error { _, err := ParSumGrouped(c, valid, 1024, Scalar, 4); return err }},
+	}
+	for name, corrupt := range corruptVariants(t) {
+		for _, op := range ops {
+			if op.name == "project data" && corrupt.Desc().Kind != columns.StaticBP {
+				// Projection reads its data column by position; formats
+				// without random access are rejected before any data is read.
+				continue
+			}
+			t.Run(name+"/"+op.name, func(t *testing.T) {
+				err := op.run(corrupt)
+				if err == nil {
+					t.Fatalf("%s accepted a column with a %s", op.name, name)
+				}
+				if !errors.Is(err, ErrCorruptData) {
+					t.Fatalf("%s error does not match ErrCorruptData: %v", op.name, err)
+				}
+			})
+		}
+	}
+}
+
+// TestEngineCorruptColumnTyped: corruption reached through a full engine
+// execution — scan, parallel operators, scheduler — still matches the
+// sentinel, and the engine survives to run clean queries.
+func TestEngineCorruptColumnTyped(t *testing.T) {
+	vals := make([]uint64, 4*512+300)
+	for i := range vals {
+		vals[i] = uint64(i % 500)
+	}
+	db := NewDB()
+	db.AddTable("t", map[string][]uint64{"a": vals, "b": vals})
+	enc, err := db.Encode(map[string]FormatDesc{"t.a": DynBP, "t.b": StaticBP})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewPlanBuilder()
+	a := b.Scan("t", "a")
+	bb := b.Scan("t", "b")
+	sel := b.Select("sel", a, CmpLt, 400)
+	proj := b.Project("proj", bb, sel)
+	b.Result(b.SumWhole("total", proj))
+	plan, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := NewEngine(enc, WithParallelism(4))
+	pr, err := e.Prepare(plan, WithUniformFormat(DynBP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pr.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the base column in place: truncate its main part.
+	good := enc.Tables["t"].Cols["a"]
+	short := append(append([]uint64{}, good.MainWords()[:len(good.MainWords())-2]...), good.Remainder()...)
+	bad, err := columns.New(good.Desc(), good.N(), good.MainElems(), len(good.MainWords())-2, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prepare binds base columns, so the corrupt column must be in place
+	// before the plan is prepared.
+	enc.Tables["t"].Cols["a"] = bad
+	prBad, err := e.Prepare(plan, WithUniformFormat(DynBP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prBad.Execute(context.Background()); !errors.Is(err, ErrCorruptData) {
+		t.Fatalf("engine over corrupt base column: %v, want ErrCorruptData", err)
+	}
+
+	// The failure is isolated: the engine and the clean prepared plan
+	// still produce the reference result.
+	enc.Tables["t"].Cols["a"] = good
+	got, err := pr.Execute(context.Background())
+	if err != nil {
+		t.Fatalf("execution after corruption repaired: %v", err)
+	}
+	if got.Cols["total"].Words()[0] != want.Cols["total"].Words()[0] {
+		t.Fatal("result after corruption repaired differs")
+	}
+}

@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"morphstore/internal/columns"
 	"morphstore/internal/formats"
 	"morphstore/internal/ops"
+	"morphstore/internal/qerr"
 	"morphstore/internal/vector"
 )
 
@@ -52,8 +54,11 @@ type options struct {
 	specialized bool
 	autoMorph   bool
 	keep        bool
-	par         int // 0 = engine budget / GOMAXPROCS
-	maxQueries  int // 0 = unlimited
+	par         int           // 0 = engine budget / GOMAXPROCS
+	maxQueries  int           // 0 = unlimited
+	timeout     time.Duration // 0 = no per-execution deadline
+	memLimit    int           // 0 = no prepare-time memory-estimate limit
+	memDegrade  bool          // over-limit plans degrade to par=1 instead of failing
 	// Format resolution (Prepare): explicit per-column formats, a uniform
 	// format for every intermediate, or cost-based selection. Explicit
 	// entries take precedence over uniform/cost-based choices.
@@ -139,6 +144,37 @@ func WithParallelism(n int) Option {
 func WithMaxConcurrentQueries(n int) Option {
 	return Option{name: "WithMaxConcurrentQueries", scope: scopeEngine,
 		apply: func(o *options) { o.maxQueries = n }}
+}
+
+// WithQueryTimeout bounds one execution's wall-clock time: Execute derives a
+// deadline context, the running morsel loops stop within one morsel when it
+// fires, and the returned error matches ErrQueryTimeout. The timeout covers
+// the admission wait. 0 means no deadline. Applies to NewEngine (default for
+// every execution), Prepare, and Execute.
+func WithQueryTimeout(d time.Duration) Option {
+	return Option{name: "WithQueryTimeout", scope: scopeEngine | scopePrepare | scopeExec,
+		apply: func(o *options) { o.timeout = d }}
+}
+
+// WithMemoryEstimateLimit bounds the conservative prepare-time estimate of
+// the intermediate bytes one execution can materialize (see
+// Prepared.MemoryEstimate). An over-limit plan fails Prepare with an error
+// matching ErrMemoryLimit — or, with WithMemoryLimitDegrade, prepares
+// degraded instead. 0 means unlimited. Applies to NewEngine and Prepare.
+func WithMemoryEstimateLimit(bytes int) Option {
+	return Option{name: "WithMemoryEstimateLimit", scope: scopeEngine | scopePrepare,
+		apply: func(o *options) { o.memLimit = bytes }}
+}
+
+// WithMemoryLimitDegrade selects graceful degradation for plans over the
+// memory-estimate limit: instead of rejecting the plan, Prepare pins its
+// executions to sequential operator-at-a-time processing (par=1), the mode
+// with the smallest transient footprint — one operator's scratch at a time
+// and no concurrent per-worker buffers. Prepared.Degraded reports the
+// decision. Applies to NewEngine and Prepare.
+func WithMemoryLimitDegrade(on bool) Option {
+	return Option{name: "WithMemoryLimitDegrade", scope: scopeEngine | scopePrepare,
+		apply: func(o *options) { o.memDegrade = on }}
 }
 
 // WithFormat assigns a compression format to one named plan column
@@ -284,11 +320,13 @@ func (e *Engine) Budget() int { return e.budget.Total() }
 // node bound to a physical operator. It is immutable and safe for
 // concurrent Execute calls from many goroutines.
 type Prepared struct {
-	e     *Engine
-	p     *Plan
-	opt   options
-	bound []boundNode
-	sinks map[string]bool
+	e        *Engine
+	p        *Plan
+	opt      options
+	bound    []boundNode
+	sinks    map[string]bool
+	estimate int
+	degraded bool
 }
 
 // Prepare compiles the plan once against the engine's database: per-column
@@ -323,8 +361,32 @@ func (e *Engine) Prepare(p *Plan, o ...Option) (*Prepared, error) {
 			return nil, err
 		}
 	}
-	return &Prepared{e: e, p: p, opt: opt, bound: bound, sinks: sinks}, nil
+	est, err := memoryEstimate(p, e.db)
+	if err != nil {
+		return nil, err
+	}
+	pr := &Prepared{e: e, p: p, opt: opt, bound: bound, sinks: sinks, estimate: est}
+	if opt.memLimit > 0 && est > opt.memLimit {
+		if !opt.memDegrade {
+			return nil, qerr.Tag(fmt.Errorf("core: plan memory estimate %d bytes over limit %d", est, opt.memLimit),
+				qerr.ErrMemoryLimit)
+		}
+		pr.degraded = true
+	}
+	return pr, nil
 }
+
+// MemoryEstimate returns the conservative upper bound, in bytes, on the
+// intermediate columns one execution of the prepared plan can materialize —
+// the quantity WithMemoryEstimateLimit bounds. Base columns are excluded
+// (scans hand out the stored columns), and every intermediate element is
+// costed at an uncompressed 8-byte word, so compressed plans stay well under
+// the estimate.
+func (pr *Prepared) MemoryEstimate() int { return pr.estimate }
+
+// Degraded reports whether the plan exceeded the memory-estimate limit and
+// was pinned to sequential execution by WithMemoryLimitDegrade.
+func (pr *Prepared) Degraded() bool { return pr.degraded }
 
 // resolveFormats materializes the per-column format map of one preparation.
 func (e *Engine) resolveFormats(p *Plan, opt *options) (map[string]columns.FormatDesc, error) {
@@ -367,10 +429,16 @@ func (pr *Prepared) Formats() map[string]columns.FormatDesc {
 
 // Execute runs the prepared plan. The context cancels the execution: the
 // DAG scheduler stops dispatching operators and running morsel loops stop
-// within one morsel, returning ctx.Err(). Concurrent Execute calls from any
-// number of goroutines share the engine's worker budget deterministically
-// and produce columns byte-identical to a sequential run. Execute options:
-// WithParallelism (this query's cap), WithKeep.
+// within one morsel, returning an error matching ErrQueryCanceled (or
+// ErrQueryTimeout when a deadline — including WithQueryTimeout — fired).
+// Concurrent Execute calls from any number of goroutines share the engine's
+// worker budget deterministically and produce columns byte-identical to a
+// sequential run. A failing execution — cancelled, corrupt data, or a
+// recovered operator panic — is isolated to this call: the engine, the
+// prepared plan and concurrent queries stay fully usable, and re-executing
+// the same Prepared afterwards yields the same columns a fresh execution
+// would. Execute options: WithParallelism (this query's cap), WithKeep,
+// WithQueryTimeout.
 func (pr *Prepared) Execute(ctx context.Context, o ...Option) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -379,21 +447,31 @@ func (pr *Prepared) Execute(ctx context.Context, o ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opt.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.timeout)
+		defer cancel()
+	}
 	e := pr.e
 	if e.admit != nil {
 		select {
 		case e.admit <- struct{}{}:
 			defer func() { <-e.admit }()
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			// The query never started: tag the context error so callers can
+			// tell an admission rejection from a mid-flight cancellation.
+			return nil, qerr.Tag(qerr.Classify(ctx.Err()), qerr.ErrAdmissionRejected)
 		}
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, qerr.Classify(err)
 	}
 	par := opt.par
 	if par <= 0 {
 		par = e.budget.Total()
+	}
+	if pr.degraded {
+		par = 1
 	}
 	es := &execState{outs: make([][]*columns.Column, len(pr.p.nodes))}
 	res := &Result{
@@ -412,7 +490,7 @@ func (pr *Prepared) Execute(ctx context.Context, o ...Option) (*Result, error) {
 		err = pr.runConcurrent(ctx, es, res, opt.keep, par)
 	}
 	if err != nil {
-		return nil, err
+		return nil, qerr.Classify(err)
 	}
 	return res, nil
 }
@@ -432,13 +510,32 @@ func (e *Engine) nodeRuntime(ctx context.Context, par int) (ops.Runtime, func())
 // kernel work (they hand out the stored column), so they skip the budget
 // entirely instead of opening and closing a lease — a lease open/close pair
 // would transiently re-divide the allowance of every running operator.
-func (pr *Prepared) runNode(ctx context.Context, es *execState, bn *boundNode, par int) ([]*columns.Column, error) {
+//
+// The node runs under a recover guard: a panic on the operator's own
+// goroutine — the morsel workers have their own guards — is converted into a
+// *QueryError instead of crashing the process, and every QueryError
+// surfacing here is tagged with the operator it escaped from. The guard sits
+// after the lease's deferred release, so a panicking node cannot leak its
+// budget share.
+func (pr *Prepared) runNode(ctx context.Context, es *execState, bn *boundNode, par int) (produced []*columns.Column, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			qe := qerr.Recovered(v, -1)
+			qe.Op = bn.n.op.String()
+			produced, err = nil, qe
+			return
+		}
+		var qe *qerr.QueryError
+		if errors.As(err, &qe) && qe.Op == "" {
+			qe.Op = bn.n.op.String()
+		}
+	}()
 	if bn.n.op == OpScan {
 		return bn.run(es, ops.RT(ctx, nil, 1))
 	}
 	rt, release := pr.e.nodeRuntime(ctx, par)
 	defer release()
-	produced, err := bn.run(es, rt)
+	produced, err = bn.run(es, rt)
 	if err != nil {
 		return nil, fmt.Errorf("core: %v %q: %w", bn.n.op, bn.n.outNames[0], err)
 	}

@@ -6,6 +6,7 @@ import (
 	"morphstore/internal/bitutil"
 	"morphstore/internal/columns"
 	"morphstore/internal/ops"
+	"morphstore/internal/qerr"
 )
 
 // This file implements the engine's one-off operator calls: the
@@ -38,9 +39,25 @@ func (e *Engine) opRuntime(ctx context.Context, o []Option) (options, ops.Runtim
 	return opt, ops.RT(ctx, lease, par), lease.Close, nil
 }
 
+// opGuard is the deferred failure boundary of every one-off operator call:
+// it converts a panic — in the operator's own phase; the morsel workers carry
+// their own guards — into a *QueryError tagged with the operator name, and
+// classifies context errors onto the taxonomy, mirroring what a prepared
+// execution reports for the same failure.
+func opGuard(op string, errp *error) {
+	if v := recover(); v != nil {
+		qe := qerr.Recovered(v, -1)
+		qe.Op = op
+		*errp = qe
+		return
+	}
+	*errp = qerr.Classify(*errp)
+}
+
 // Select returns the sorted positions of elements matching `element op val`.
 // Options: WithOutput, WithStyle, WithSpecialized, WithParallelism.
-func (e *Engine) Select(ctx context.Context, in *columns.Column, op bitutil.CmpKind, val uint64, o ...Option) (*columns.Column, error) {
+func (e *Engine) Select(ctx context.Context, in *columns.Column, op bitutil.CmpKind, val uint64, o ...Option) (out *columns.Column, err error) {
+	defer opGuard("select", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
@@ -50,7 +67,8 @@ func (e *Engine) Select(ctx context.Context, in *columns.Column, op bitutil.CmpK
 }
 
 // SelectBetween returns the sorted positions of elements in [lo, hi].
-func (e *Engine) SelectBetween(ctx context.Context, in *columns.Column, lo, hi uint64, o ...Option) (*columns.Column, error) {
+func (e *Engine) SelectBetween(ctx context.Context, in *columns.Column, lo, hi uint64, o ...Option) (out *columns.Column, err error) {
+	defer opGuard("between", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
@@ -61,7 +79,8 @@ func (e *Engine) SelectBetween(ctx context.Context, in *columns.Column, lo, hi u
 
 // Project gathers data values at the given positions; the data column must
 // support random access (uncompressed or static BP).
-func (e *Engine) Project(ctx context.Context, data, pos *columns.Column, o ...Option) (*columns.Column, error) {
+func (e *Engine) Project(ctx context.Context, data, pos *columns.Column, o ...Option) (out *columns.Column, err error) {
+	defer opGuard("project", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
@@ -71,7 +90,8 @@ func (e *Engine) Project(ctx context.Context, data, pos *columns.Column, o ...Op
 }
 
 // Sum aggregates all elements of a column.
-func (e *Engine) Sum(ctx context.Context, in *columns.Column, o ...Option) (uint64, error) {
+func (e *Engine) Sum(ctx context.Context, in *columns.Column, o ...Option) (sum uint64, err error) {
+	defer opGuard("sum", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return 0, err
@@ -82,7 +102,8 @@ func (e *Engine) Sum(ctx context.Context, in *columns.Column, o ...Option) (uint
 }
 
 // SumGrouped sums vals per group id, for group ids in [0, nGroups).
-func (e *Engine) SumGrouped(ctx context.Context, gids, vals *columns.Column, nGroups int, o ...Option) (*columns.Column, error) {
+func (e *Engine) SumGrouped(ctx context.Context, gids, vals *columns.Column, nGroups int, o ...Option) (out *columns.Column, err error) {
+	defer opGuard("sum_grouped", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
@@ -92,7 +113,8 @@ func (e *Engine) SumGrouped(ctx context.Context, gids, vals *columns.Column, nGr
 }
 
 // SemiJoin emits probe positions whose key occurs in build.
-func (e *Engine) SemiJoin(ctx context.Context, probe, build *columns.Column, o ...Option) (*columns.Column, error) {
+func (e *Engine) SemiJoin(ctx context.Context, probe, build *columns.Column, o ...Option) (out *columns.Column, err error) {
+	defer opGuard("semijoin", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
@@ -105,6 +127,7 @@ func (e *Engine) SemiJoin(ctx context.Context, probe, build *columns.Column, o .
 // with unique values, returning the matching probe positions and, aligned
 // with them, the joined build positions (WithOutputs sets their formats).
 func (e *Engine) JoinN1(ctx context.Context, probe, build *columns.Column, o ...Option) (probePos, buildPos *columns.Column, err error) {
+	defer opGuard("join", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, nil, err
@@ -114,7 +137,8 @@ func (e *Engine) JoinN1(ctx context.Context, probe, build *columns.Column, o ...
 }
 
 // Calc combines two equal-length columns element-wise.
-func (e *Engine) Calc(ctx context.Context, op ops.CalcKind, a, b *columns.Column, o ...Option) (*columns.Column, error) {
+func (e *Engine) Calc(ctx context.Context, op ops.CalcKind, a, b *columns.Column, o ...Option) (out *columns.Column, err error) {
+	defer opGuard("calc", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
@@ -125,7 +149,8 @@ func (e *Engine) Calc(ctx context.Context, op ops.CalcKind, a, b *columns.Column
 
 // Intersect intersects two sorted position lists, splitting both inputs at
 // shared value-range boundaries for parallel processing.
-func (e *Engine) Intersect(ctx context.Context, a, b *columns.Column, o ...Option) (*columns.Column, error) {
+func (e *Engine) Intersect(ctx context.Context, a, b *columns.Column, o ...Option) (out *columns.Column, err error) {
+	defer opGuard("intersect", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
@@ -136,7 +161,8 @@ func (e *Engine) Intersect(ctx context.Context, a, b *columns.Column, o ...Optio
 
 // Union merges two sorted position lists without duplicates, splitting both
 // inputs at shared value-range boundaries for parallel processing.
-func (e *Engine) Union(ctx context.Context, a, b *columns.Column, o ...Option) (*columns.Column, error) {
+func (e *Engine) Union(ctx context.Context, a, b *columns.Column, o ...Option) (out *columns.Column, err error) {
+	defer opGuard("merge", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
@@ -149,6 +175,7 @@ func (e *Engine) Union(ctx context.Context, a, b *columns.Column, o ...Option) (
 // every element of keys, returning the per-row group ids and, per group, the
 // position of its first occurrence (WithOutputs sets their formats).
 func (e *Engine) GroupFirst(ctx context.Context, keys *columns.Column, o ...Option) (gids, extents *columns.Column, err error) {
+	defer opGuard("group", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, nil, err
@@ -161,6 +188,7 @@ func (e *Engine) GroupFirst(ctx context.Context, keys *columns.Column, o ...Opti
 // fall into the same output group iff they had the same previous group id
 // and the same new key. Outputs follow the GroupFirst conventions.
 func (e *Engine) GroupNext(ctx context.Context, prevGids, keys *columns.Column, o ...Option) (gids, extents *columns.Column, err error) {
+	defer opGuard("group_next", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, nil, err

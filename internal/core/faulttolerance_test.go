@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"morphstore/internal/columns"
+	"morphstore/internal/faultpoint"
+	"morphstore/internal/qerr"
+	"morphstore/internal/vector"
+)
+
+// TestEngineQueryTimeout: WithQueryTimeout must stop a running query and the
+// error must match ErrQueryTimeout; the engine stays usable afterwards.
+func TestEngineQueryTimeout(t *testing.T) {
+	db, plan := bigCancelDB(t)
+	e := NewEngine(db, WithParallelism(2))
+	pr, err := e.Prepare(plan, WithUniformFormat(columns.DynBPDesc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.Execute(context.Background(), WithQueryTimeout(time.Millisecond)); !errors.Is(err, qerr.ErrQueryTimeout) {
+		t.Fatalf("timed-out execution: %v, want ErrQueryTimeout", err)
+	}
+	// The timeout is per execution, not sticky state on the prepared plan.
+	if _, err := pr.Execute(context.Background()); err != nil {
+		t.Fatalf("execution after timeout: %v", err)
+	}
+	// A pre-cancelled caller context classifies as a cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pr.Execute(ctx); !errors.Is(err, qerr.ErrQueryCanceled) {
+		t.Fatalf("pre-cancelled execution: %v, want ErrQueryCanceled", err)
+	}
+}
+
+// TestEngineMemoryEstimateLimit: an over-limit plan must fail Prepare with
+// ErrMemoryLimit, and with degradation enabled it must instead prepare
+// pinned to sequential execution with byte-identical results.
+func TestEngineMemoryEstimateLimit(t *testing.T) {
+	db := buildParTestDB(t)
+	plan := buildParTestPlan(t)
+	e := NewEngine(db, WithParallelism(4), WithStyle(vector.Vec512))
+
+	free, err := e.Prepare(plan, WithUniformFormat(columns.DynBPDesc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := free.MemoryEstimate()
+	if est <= 0 {
+		t.Fatalf("memory estimate = %d, want > 0", est)
+	}
+	if free.Degraded() {
+		t.Fatal("unlimited prepare marked degraded")
+	}
+	ref, err := free.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Under the limit: accepted unchanged.
+	ok, err := e.Prepare(plan, WithUniformFormat(columns.DynBPDesc), WithMemoryEstimateLimit(est))
+	if err != nil {
+		t.Fatalf("prepare at exactly the estimate: %v", err)
+	}
+	if ok.Degraded() {
+		t.Fatal("plan at the limit marked degraded")
+	}
+
+	// Over the limit: rejected with the typed sentinel.
+	_, err = e.Prepare(plan, WithUniformFormat(columns.DynBPDesc), WithMemoryEstimateLimit(est-1))
+	if !errors.Is(err, qerr.ErrMemoryLimit) {
+		t.Fatalf("over-limit prepare: %v, want ErrMemoryLimit", err)
+	}
+
+	// Over the limit with degradation: accepted, pinned sequential, same bytes.
+	deg, err := e.Prepare(plan, WithUniformFormat(columns.DynBPDesc),
+		WithMemoryEstimateLimit(est-1), WithMemoryLimitDegrade(true))
+	if err != nil {
+		t.Fatalf("degraded prepare: %v", err)
+	}
+	if !deg.Degraded() {
+		t.Fatal("over-limit degradable plan not marked degraded")
+	}
+	if deg.MemoryEstimate() != est {
+		t.Fatalf("degraded estimate = %d, want %d", deg.MemoryEstimate(), est)
+	}
+	res, err := deg.Execute(context.Background())
+	if err != nil {
+		t.Fatalf("degraded execution: %v", err)
+	}
+	if err := sameResult(ref, res); err != nil {
+		t.Fatalf("degraded execution diverged: %v", err)
+	}
+}
+
+// TestEngineAdmissionRejectedTyped: a query whose context fires while parked
+// at the admission gate must match both ErrAdmissionRejected and the
+// context sentinel that actually fired.
+func TestEngineAdmissionRejectedTyped(t *testing.T) {
+	db := buildParTestDB(t)
+	plan := buildParTestPlan(t)
+	e := NewEngine(db, WithParallelism(2), WithMaxConcurrentQueries(1))
+	pr, err := e.Prepare(plan, WithUniformFormat(columns.UncomprDesc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.admit <- struct{}{} // occupy the gate deterministically
+	if _, err := pr.Execute(context.Background(), WithQueryTimeout(time.Millisecond)); !errors.Is(err, qerr.ErrAdmissionRejected) || !errors.Is(err, qerr.ErrQueryTimeout) {
+		t.Fatalf("rejected waiter: %v, want ErrAdmissionRejected+ErrQueryTimeout", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(time.Millisecond); cancel() }()
+	if _, err := pr.Execute(ctx); !errors.Is(err, qerr.ErrAdmissionRejected) || !errors.Is(err, qerr.ErrQueryCanceled) {
+		t.Fatalf("cancelled waiter: %v, want ErrAdmissionRejected+ErrQueryCanceled", err)
+	}
+	<-e.admit
+	if _, err := pr.Execute(context.Background()); err != nil {
+		t.Fatalf("execution after gate drained: %v", err)
+	}
+}
+
+// TestPreparedExecuteAfterFailure: a failed execution — recovered panic or
+// cancellation — must leave the Prepared fully usable, with subsequent
+// executions byte-identical to an untroubled run.
+func TestPreparedExecuteAfterFailure(t *testing.T) {
+	defer faultpoint.DisarmAll()
+	db := buildParTestDB(t)
+	plan := buildParTestPlan(t)
+	e := NewEngine(db, WithParallelism(4), WithStyle(vector.Vec512))
+	pr, err := e.Prepare(plan, WithUniformFormat(columns.DeltaBPDesc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := pr.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultpoint.KernelBody.Arm(func() error { panic("injected kernel panic") })
+	_, err = pr.Execute(context.Background())
+	var qe *qerr.QueryError
+	if !errors.As(err, &qe) {
+		t.Fatalf("kernel panic did not surface as QueryError: %v", err)
+	}
+	if qe.Op == "" {
+		t.Fatalf("QueryError lost its operator: %+v", qe)
+	}
+	faultpoint.DisarmAll()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pr.Execute(ctx); !errors.Is(err, qerr.ErrQueryCanceled) {
+		t.Fatalf("cancelled execution: %v", err)
+	}
+
+	for i := 0; i < 3; i++ {
+		res, err := pr.Execute(context.Background())
+		if err != nil {
+			t.Fatalf("execution %d after failures: %v", i, err)
+		}
+		if err := sameResult(ref, res); err != nil {
+			t.Fatalf("execution %d after failures diverged: %v", i, err)
+		}
+	}
+	if n := e.budget.Leases(); n != 0 {
+		t.Fatalf("%d budget leases leaked", n)
+	}
+}

@@ -32,7 +32,8 @@ import (
 // operator notice the cancellation inside the morsel loops (within one
 // morsel) and surface ctx.Err() through the node result.
 
-// sched is the mutable scheduler state, guarded by mu.
+// sched is the mutable scheduler state, guarded by mu. cancel is set once
+// before the workers start and never mutated, so workers read it unlocked.
 type sched struct {
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -43,15 +44,23 @@ type sched struct {
 	total      int
 	err        error
 	done       bool
+	cancel     context.CancelFunc // cancels the plan-internal context
 }
 
-// runConcurrent executes the plan DAG on min(par, nodes) workers.
+// runConcurrent executes the plan DAG on min(par, nodes) workers. The plan
+// runs under its own cancellable context derived from ctx: the first failing
+// node cancels it, so the morsel loops of concurrently running sibling
+// operators stop within one morsel instead of completing work whose result
+// the failed execution can never use.
 func (pr *Prepared) runConcurrent(ctx context.Context, es *execState, res *Result, keep bool, par int) error {
+	ctx, cancelPlan := context.WithCancel(ctx)
+	defer cancelPlan()
 	total := len(pr.p.nodes)
 	s := &sched{
 		deps:       make([]int, total),
 		dependents: make([][]int, total),
 		total:      total,
+		cancel:     cancelPlan,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for _, n := range pr.p.nodes {
@@ -129,6 +138,10 @@ func (pr *Prepared) schedWorker(ctx context.Context, s *sched, es *execState, re
 				s.err = err
 			}
 			s.done = true
+			// Recorded under the mutex first, cancelled after: the watcher
+			// checks done before overwriting err, so the node's error — not
+			// the derived context's — is what Execute reports.
+			s.cancel()
 		} else if s.err == nil {
 			es.outs[id] = produced
 			pr.account(res, bn.n, produced, elapsed, keep)

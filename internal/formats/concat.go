@@ -5,6 +5,7 @@ import (
 
 	"morphstore/internal/bitutil"
 	"morphstore/internal/columns"
+	"morphstore/internal/faultpoint"
 )
 
 // This file implements the output half of MorphStore-Go's compressed
@@ -92,6 +93,9 @@ func NewSectionWriter(desc columns.FormatDesc, sizeHint int, prev uint64, hasPre
 // width whenever every part was itself compressed at its tight (derived)
 // width.
 func ConcatCompressed(desc columns.FormatDesc, parts []*columns.Column) (*columns.Column, error) {
+	if err := faultpoint.ConcatFixup.Hit(); err != nil {
+		return nil, err
+	}
 	for _, p := range parts {
 		if p == nil {
 			return nil, fmt.Errorf("formats: concat: nil part")
@@ -178,6 +182,9 @@ func concatStaticBP(desc columns.FormatDesc, parts []*columns.Column) (*columns.
 	bits := uint(desc.Bits)
 	total := 0
 	for _, p := range parts {
+		if err := validateStaticBP(p); err != nil {
+			return nil, err
+		}
 		total += p.N()
 		pb := uint(p.Desc().Bits)
 		if desc.Bits == 0 {
@@ -380,6 +387,9 @@ func concatDeltaBP(parts []*columns.Column) (*columns.Column, error) {
 		}
 		if len(pending) == 0 && p.MainElems() > 0 {
 			pw := p.MainWords()
+			if len(pw) == 0 {
+				return nil, fmt.Errorf("%w: delta BP main part of %d elements without words", ErrCorrupt, p.MainElems())
+			}
 			w := 0
 			if pw[0] != prev {
 				// The part was compressed against a different preceding
@@ -436,6 +446,21 @@ func concatRLE(parts []*columns.Column) (*columns.Column, error) {
 		pw := p.MainWords()
 		if len(pw)%2 != 0 {
 			return nil, fmt.Errorf("%w: RLE buffer has odd word count", ErrCorrupt)
+		}
+		// The concatenation reuses the parts' run words verbatim, so their
+		// lengths must be validated here: a corrupt run total would become an
+		// undetectable lie about the combined column's element count.
+		var sum uint64
+		for i := 1; i < len(pw); i += 2 {
+			l := pw[i]
+			if l == 0 || l > uint64(p.N())-sum {
+				return nil, fmt.Errorf("%w: RLE run of length %d at element %d of part of %d elements",
+					ErrCorrupt, l, sum, p.N())
+			}
+			sum += l
+		}
+		if sum != uint64(p.N()) {
+			return nil, fmt.Errorf("%w: RLE runs cover %d of %d elements", ErrCorrupt, sum, p.N())
 		}
 		// Seam fixup: a run continuing across the part boundary merges into
 		// the preceding run, restoring maximal (canonical) runs. One merge

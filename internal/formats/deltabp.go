@@ -81,13 +81,16 @@ func (deltaBPCodec) Decompress(dst []uint64, col *columns.Column) error {
 	if len(dst) != col.N() {
 		return fmt.Errorf("formats: decompress destination has %d elements, want %d", len(dst), col.N())
 	}
+	if err := validateBlocked(col, "delta BP"); err != nil {
+		return err
+	}
 	words := col.MainWords()
 	scratch := make([]uint64, BlockLen)
 	w := 0
 	var err error
 	for e := 0; e < col.MainElems(); e += BlockLen {
 		if w, err = decodeDeltaBPBlock(words, w, dst[e:], scratch); err != nil {
-			return err
+			return blockContext(err, e, col.N())
 		}
 	}
 	copy(dst[col.MainElems():], col.Remainder())
@@ -114,6 +117,9 @@ type deltaBPReader struct {
 }
 
 func (r *deltaBPReader) Read(dst []uint64) (int, error) {
+	if err := validateBlocked(r.col, "delta BP"); err != nil {
+		return 0, err
+	}
 	k := 0
 	words := r.col.MainWords()
 	for r.elem < r.col.MainElems() {
@@ -125,7 +131,7 @@ func (r *deltaBPReader) Read(dst []uint64) (int, error) {
 		}
 		w, err := decodeDeltaBPBlock(words, r.w, dst[k:], r.scratch)
 		if err != nil {
-			return k, err
+			return k, blockContext(err, r.elem, r.col.N())
 		}
 		r.w = w
 		r.elem += BlockLen

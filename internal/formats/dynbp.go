@@ -69,12 +69,15 @@ func (dynBPCodec) Decompress(dst []uint64, col *columns.Column) error {
 	if len(dst) != col.N() {
 		return fmt.Errorf("formats: decompress destination has %d elements, want %d", len(dst), col.N())
 	}
+	if err := validateBlocked(col, "dyn BP"); err != nil {
+		return err
+	}
 	words := col.MainWords()
 	w := 0
 	var err error
 	for e := 0; e < col.MainElems(); e += BlockLen {
 		if w, err = decodeDynBPBlock(words, w, dst[e:]); err != nil {
-			return err
+			return blockContext(err, e, col.N())
 		}
 	}
 	copy(dst[col.MainElems():], col.Remainder())
@@ -99,6 +102,9 @@ type dynBPReader struct {
 }
 
 func (r *dynBPReader) Read(dst []uint64) (int, error) {
+	if err := validateBlocked(r.col, "dyn BP"); err != nil {
+		return 0, err
+	}
 	k := 0
 	words := r.col.MainWords()
 	for r.elem < r.col.MainElems() {
@@ -110,7 +116,7 @@ func (r *dynBPReader) Read(dst []uint64) (int, error) {
 		}
 		w, err := decodeDynBPBlock(words, r.w, dst[k:])
 		if err != nil {
-			return k, err
+			return k, blockContext(err, r.elem, r.col.N())
 		}
 		r.w = w
 		r.elem += BlockLen

@@ -79,12 +79,15 @@ func (forBPCodec) Decompress(dst []uint64, col *columns.Column) error {
 	if len(dst) != col.N() {
 		return fmt.Errorf("formats: decompress destination has %d elements, want %d", len(dst), col.N())
 	}
+	if err := validateBlocked(col, "FOR BP"); err != nil {
+		return err
+	}
 	words := col.MainWords()
 	w := 0
 	var err error
 	for e := 0; e < col.MainElems(); e += BlockLen {
 		if w, err = decodeForBPBlock(words, w, dst[e:]); err != nil {
-			return err
+			return blockContext(err, e, col.N())
 		}
 	}
 	copy(dst[col.MainElems():], col.Remainder())
@@ -110,6 +113,9 @@ type forBPReader struct {
 }
 
 func (r *forBPReader) Read(dst []uint64) (int, error) {
+	if err := validateBlocked(r.col, "FOR BP"); err != nil {
+		return 0, err
+	}
 	k := 0
 	words := r.col.MainWords()
 	for r.elem < r.col.MainElems() {
@@ -121,7 +127,7 @@ func (r *forBPReader) Read(dst []uint64) (int, error) {
 		}
 		w, err := decodeForBPBlock(words, r.w, dst[k:])
 		if err != nil {
-			return k, err
+			return k, blockContext(err, r.elem, r.col.N())
 		}
 		r.w = w
 		r.elem += BlockLen

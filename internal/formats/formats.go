@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"morphstore/internal/columns"
+	"morphstore/internal/qerr"
 )
 
 // BlockLen is the number of data elements per compressed block of the
@@ -36,8 +37,29 @@ const BufferLen = 2048
 // ErrSmallBuffer reports a Read destination smaller than one format block.
 var ErrSmallBuffer = errors.New("formats: read buffer smaller than one block")
 
-// ErrCorrupt reports structurally invalid compressed data.
-var ErrCorrupt = errors.New("formats: corrupt compressed data")
+// ErrCorrupt reports structurally invalid compressed data. It wraps the
+// engine taxonomy's qerr.ErrCorruptData, so every corruption error produced
+// anywhere in the codec layer — all of them wrap ErrCorrupt with %w —
+// matches both sentinels under errors.Is.
+var ErrCorrupt = fmt.Errorf("formats: %w", qerr.ErrCorruptData)
+
+// validateBlocked checks the main-part extent of a block-based column
+// (DynBP, DeltaBP, ForBP): the compressed main part always covers a whole
+// number of blocks, so a misaligned extent means the metadata is corrupt and
+// block decoding would write past the destination.
+func validateBlocked(col *columns.Column, format string) error {
+	if col.MainElems()%BlockLen != 0 {
+		return fmt.Errorf("%w: %s main part of %d elements is not block-aligned (column of %d elements)",
+			ErrCorrupt, format, col.MainElems(), col.N())
+	}
+	return nil
+}
+
+// blockContext annotates a block-decode error with the element offset of the
+// failing block and the column length, so corruption reports are actionable.
+func blockContext(err error, elem, n int) error {
+	return fmt.Errorf("%w (block at element %d of column of %d)", err, elem, n)
+}
 
 // Reader sequentially decompresses a column into caller-supplied buffers,
 // materializing uncompressed data only at cache-resident-block granularity.

@@ -30,6 +30,9 @@ func RandomAccess(col *columns.Column) (RandomAccessor, error) {
 	case columns.Uncompressed:
 		return uncomprAccessor(col.Words()), nil
 	case columns.StaticBP:
+		if err := validateStaticBP(col); err != nil {
+			return nil, err
+		}
 		return &staticBPAccessor{
 			words: col.MainWords(),
 			bits:  uint(col.Desc().Bits),

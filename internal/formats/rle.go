@@ -47,8 +47,10 @@ func (rleCodec) Decompress(dst []uint64, col *columns.Column) error {
 	}
 	k := 0
 	for w := 0; w < len(words); w += 2 {
+		// Compare against the remaining space rather than k+l, which a run
+		// length near the int range would overflow past the bounds check.
 		v, l := words[w], int(words[w+1])
-		if l <= 0 || k+l > len(dst) {
+		if l <= 0 || l > len(dst)-k {
 			return fmt.Errorf("%w: RLE run length %d at element %d of %d", ErrCorrupt, l, k, len(dst))
 		}
 		for i := 0; i < l; i++ {
@@ -87,8 +89,20 @@ func RLERuns(col *columns.Column) ([]Run, error) {
 		return nil, fmt.Errorf("%w: RLE buffer has odd word count", ErrCorrupt)
 	}
 	runs := make([]Run, len(words)/2)
+	var total uint64
 	for i := range runs {
 		runs[i] = Run{Value: words[2*i], Length: words[2*i+1]}
+		l := runs[i].Length
+		if l == 0 || l > uint64(col.N())-total {
+			// Zero-length and overflowing runs alike make the runs
+			// inconsistent with the column's element count.
+			return nil, fmt.Errorf("%w: RLE run of length %d at element %d of column of %d",
+				ErrCorrupt, l, total, col.N())
+		}
+		total += l
+	}
+	if total != uint64(col.N()) {
+		return nil, fmt.Errorf("%w: RLE runs cover %d of %d elements", ErrCorrupt, total, col.N())
 	}
 	return runs, nil
 }
@@ -108,12 +122,17 @@ func (r *rleReader) Read(dst []uint64) (int, error) {
 			return k, fmt.Errorf("%w: RLE runs exhausted at element %d of %d", ErrCorrupt, r.emit, r.n)
 		}
 		v, l := r.words[r.w], int(r.words[r.w+1])
+		if l <= 0 || l-r.within > r.n-r.emit {
+			// Zero-length runs, lengths past the int range (stored as a raw
+			// word) and runs overflowing the column's element count are all
+			// corrupt; clamping the overflow instead would silently decode a
+			// different column than Decompress rejects.
+			return k, fmt.Errorf("%w: RLE run of length %d at element %d of column of %d",
+				ErrCorrupt, r.words[r.w+1], r.emit, r.n)
+		}
 		take := l - r.within
 		if rem := len(dst) - k; take > rem {
 			take = rem
-		}
-		if max := r.n - r.emit; take > max {
-			take = max
 		}
 		for i := 0; i < take; i++ {
 			dst[k+i] = v

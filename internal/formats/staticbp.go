@@ -35,9 +35,28 @@ func (staticBPCodec) Compress(src []uint64, desc columns.FormatDesc) (*columns.C
 		len(src), len(src), len(words), words)
 }
 
+// validateStaticBP bounds-checks a static BP column before any packed read:
+// the width must be a representable bit count and the word buffer must cover
+// every packed element, so a truncated or mislabeled column surfaces as
+// ErrCorrupt instead of an out-of-bounds slice access.
+func validateStaticBP(col *columns.Column) error {
+	bits := uint(col.Desc().Bits)
+	if bits > 64 {
+		return fmt.Errorf("%w: static BP width %d (column of %d elements)", ErrCorrupt, bits, col.N())
+	}
+	if want := bitutil.PackedWords(col.N(), bits); len(col.MainWords()) < want {
+		return fmt.Errorf("%w: static BP column of %d elements at width %d has %d words, want %d",
+			ErrCorrupt, col.N(), bits, len(col.MainWords()), want)
+	}
+	return nil
+}
+
 func (staticBPCodec) Decompress(dst []uint64, col *columns.Column) error {
 	if len(dst) != col.N() {
 		return fmt.Errorf("formats: decompress destination has %d elements, want %d", len(dst), col.N())
+	}
+	if err := validateStaticBP(col); err != nil {
+		return err
 	}
 	bitutil.Unpack(dst, col.MainWords(), uint(col.Desc().Bits))
 	return nil
@@ -48,6 +67,7 @@ func (staticBPCodec) NewReader(col *columns.Column) Reader {
 		words: col.MainWords(),
 		n:     col.N(),
 		bits:  uint(col.Desc().Bits),
+		err:   validateStaticBP(col),
 	}
 }
 
@@ -70,10 +90,14 @@ type staticBPReader struct {
 	words []uint64
 	n     int
 	bits  uint
-	pos   int // elements consumed
+	pos   int   // elements consumed
+	err   error // validation failure, reported on first Read
 }
 
 func (r *staticBPReader) Read(dst []uint64) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
 	remain := r.n - r.pos
 	if remain <= 0 {
 		return 0, nil

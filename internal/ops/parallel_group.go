@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"morphstore/internal/columns"
+	"morphstore/internal/faultpoint"
 	"morphstore/internal/formats"
 	"morphstore/internal/vector"
 )
@@ -61,6 +62,10 @@ type pairBuild struct {
 // positions in canonical order) and, per worker, the local-id -> canonical
 // global id remap table.
 func mergeBuilds(workers int, nLocal func(w int) int, firstPos func(w, lid int) uint64, probe func(w, lid int, def uint64) (uint64, bool)) (ext []uint64, remaps [][]uint64) {
+	// The merge has no error path of its own, so the fault point escalates
+	// injected errors to panics; the engine's per-node recover guard reports
+	// them as typed query errors.
+	faultpoint.GroupMerge.MustHit()
 	var pos []uint64 // minimum first-occurrence position per entry index
 	remaps = make([][]uint64, workers)
 	for w := 0; w < workers; w++ {

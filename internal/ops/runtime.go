@@ -7,7 +7,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"morphstore/internal/faultpoint"
 	"morphstore/internal/formats"
+	"morphstore/internal/qerr"
 )
 
 // This file implements the execution runtime threaded through the
@@ -65,6 +67,10 @@ func (b *Budget) Lease(cap int) *Lease {
 	if cap < 1 {
 		cap = 1
 	}
+	// The fault point fires before the lease is registered so that an
+	// injected panic cannot leave behind a lease the caller never saw and
+	// can never Close.
+	faultpoint.BudgetRedivide.MustHit()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	l := &Lease{b: b, id: b.nextID, cap: cap}
@@ -168,9 +174,9 @@ func (l *Lease) acquire(ctx context.Context) bool {
 func (l *Lease) release() {
 	b := l.b
 	b.mu.Lock()
+	defer b.mu.Unlock()
 	l.inUse--
 	b.cond.Broadcast()
-	b.mu.Unlock()
 }
 
 // Limit returns the lease's current worker allowance (for tests and
@@ -179,6 +185,27 @@ func (l *Lease) Limit() int {
 	l.b.mu.Lock()
 	defer l.b.mu.Unlock()
 	return l.limit
+}
+
+// Leases returns the number of open leases. An idle budget — no operator
+// running — reports zero; the leak tests of the fault-tolerance suite assert
+// this after every failure mode.
+func (b *Budget) Leases() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.leases)
+}
+
+// InUse returns the worker slots currently acquired across all open leases.
+// An idle budget reports zero.
+func (b *Budget) InUse() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, l := range b.leases {
+		n += l.inUse
+	}
+	return n
 }
 
 // Runtime carries the execution environment of one operator invocation:
@@ -230,26 +257,49 @@ func (rt Runtime) seqFallback() {
 	}
 }
 
+// guarded runs fn for morsel i and converts a panic — in the kernel, in a
+// stitch seam, or injected through a fault point — into a typed
+// *qerr.QueryError carrying the panic value, the morsel index and the stack.
+// The recover boundary sits per morsel rather than per worker so the worker
+// loop keeps running its bookkeeping (completion count, lease release) on the
+// normal path and sibling morsels on the same worker are unaffected.
+func guarded(i int, fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = qerr.Recovered(v, i)
+		}
+	}()
+	if err := faultpoint.KernelBody.Hit(); err != nil {
+		return err
+	}
+	return fn()
+}
+
 // runParts executes fn for every partition, claimed in index order from an
 // atomic work-queue cursor by at most rt.Par() worker goroutines. fn receives
 // the claiming worker's index (for reusing per-worker scratch: one worker
 // index is never active on two goroutines) and the partition's index (for
 // depositing results in deterministic partition order). Workers check the
 // runtime's context and acquire a budget slot before every claim, so both
-// cancellation and budget re-division take effect within one morsel. The
-// first error is returned after all claimed work finishes; a cancelled run
-// returns the context's error.
+// cancellation and budget re-division take effect within one morsel.
+//
+// Each morsel runs under a recover guard: a panicking kernel is reported as a
+// *qerr.QueryError instead of crashing the process, and the remaining workers
+// stop claiming morsels as soon as any morsel fails. The first error in
+// partition order is returned after all claimed work finishes; a cancelled
+// run returns the context's error.
 func (rt Runtime) runParts(parts []formats.Partition, fn func(worker, i int, pt formats.Partition) error) error {
 	workers := rt.workers(len(parts))
 	errs := make([]error, len(parts))
 	var next, completed atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for {
-				if rt.Err() != nil {
+				if rt.Err() != nil || failed.Load() {
 					return
 				}
 				if rt.lease != nil && !rt.lease.acquire(rt.ctx) {
@@ -262,7 +312,14 @@ func (rt Runtime) runParts(parts []formats.Partition, fn func(worker, i int, pt 
 					}
 					return
 				}
-				errs[i] = fn(w, i, parts[i])
+				if err := faultpoint.MorselClaim.Hit(); err != nil {
+					errs[i] = err
+				} else {
+					errs[i] = guarded(i, func() error { return fn(w, i, parts[i]) })
+				}
+				if errs[i] != nil {
+					failed.Store(true)
+				}
 				completed.Add(1)
 				if rt.lease != nil {
 					rt.lease.release()
@@ -271,14 +328,14 @@ func (rt Runtime) runParts(parts []formats.Partition, fn func(worker, i int, pt 
 		}(w)
 	}
 	wg.Wait()
-	if int(completed.Load()) < len(parts) {
-		// Only cancellation leaves tasks unclaimed.
-		return rt.Err()
-	}
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
+	}
+	if int(completed.Load()) < len(parts) {
+		// Only cancellation leaves tasks unclaimed without an error.
+		return rt.Err()
 	}
 	return nil
 }

@@ -1,10 +1,9 @@
 package ops
 
 import (
-	"sync"
-
 	"morphstore/internal/bitutil"
 	"morphstore/internal/columns"
+	"morphstore/internal/faultpoint"
 	"morphstore/internal/formats"
 )
 
@@ -64,7 +63,10 @@ func (rt Runtime) stitchParallel(desc columns.FormatDesc, chunks [][]uint64, tot
 		// The monolithic auto-width writer buffers the whole stream to derive
 		// one global width; deriving it up front lets every section pack
 		// streamingly at that width and concatenate by pure bit-copies.
-		b := rt.maxBitsChunks(chunks)
+		b, err := rt.maxBitsChunks(chunks)
+		if err != nil {
+			return nil, true, err
+		}
 		if b == 0 {
 			return nil, false, nil // all-zero stream: zero-width column, serial is trivial
 		}
@@ -80,6 +82,9 @@ func (rt Runtime) stitchParallel(desc columns.FormatDesc, chunks [][]uint64, tot
 	}
 	parts := make([]*columns.Column, len(ranges))
 	err = rt.runParts(ranges, func(_, i int, pt formats.Partition) error {
+		if err := faultpoint.StitchSeam.Hit(); err != nil {
+			return err
+		}
 		var prev uint64
 		hasPrev := pt.Start > 0
 		if hasPrev && d.Kind == columns.DeltaBP {
@@ -109,8 +114,10 @@ func (rt Runtime) stitchParallel(desc columns.FormatDesc, chunks [][]uint64, tot
 // maxBitsChunks returns the effective bit width of the widest element across
 // all chunks, scanning concurrently. Large chunks are subdivided so the scan
 // parallelizes even for the single-chunk streams ParProject and
-// ParCalcBinary hand to the stitch.
-func (rt Runtime) maxBitsChunks(chunks [][]uint64) uint {
+// ParCalcBinary hand to the stitch. The scan runs under the runtime's guarded
+// task loop: a cancelled or fault-injected scan reports its error instead of
+// handing the section writers a silently underestimated width.
+func (rt Runtime) maxBitsChunks(chunks [][]uint64) (uint, error) {
 	var pieces [][]uint64
 	for _, c := range chunks {
 		for len(c) > 0 {
@@ -120,23 +127,18 @@ func (rt Runtime) maxBitsChunks(chunks [][]uint64) uint {
 		}
 	}
 	maxes := make([]uint, len(pieces))
-	var wg sync.WaitGroup
-	workers := rt.workers(len(pieces))
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < len(pieces); i += workers {
-				maxes[i] = bitutil.MaxBits(pieces[i])
-			}
-		}(w)
+	err := rt.runTasks(len(pieces), func(_, i int) error {
+		maxes[i] = bitutil.MaxBits(pieces[i])
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	wg.Wait()
 	b := uint(0)
 	for _, m := range maxes {
 		b = max(b, m)
 	}
-	return b
+	return b, nil
 }
 
 // morselScanFactor sizes the width-scan pieces: the scan touches one word

@@ -1,0 +1,96 @@
+package qerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestQueryErrorMessage(t *testing.T) {
+	qe := Recovered("boom", 3)
+	if got := qe.Error(); got != "morphstore: panic in query (morsel 3): boom" {
+		t.Fatalf("message: %q", got)
+	}
+	qe.Op = "select"
+	if got := qe.Error(); got != "morphstore: panic in operator select (morsel 3): boom" {
+		t.Fatalf("message with op: %q", got)
+	}
+	qe.Morsel = -1
+	if got := qe.Error(); got != "morphstore: panic in operator select: boom" {
+		t.Fatalf("message without morsel: %q", got)
+	}
+	if len(qe.Stack) == 0 {
+		t.Fatal("Recovered did not capture a stack")
+	}
+}
+
+func TestQueryErrorUnwrapsErrorPanics(t *testing.T) {
+	inner := fmt.Errorf("wrapped: %w", ErrCorruptData)
+	var err error = Recovered(inner, 0)
+	if !errors.Is(err, ErrCorruptData) {
+		t.Fatal("panic with a taxonomy error does not match the sentinel")
+	}
+	var qe *QueryError
+	if !errors.As(err, &qe) || qe.Morsel != 0 {
+		t.Fatalf("errors.As: %v", err)
+	}
+	if err := Recovered("not an error", 0); errors.Unwrap(err) != nil {
+		t.Fatal("non-error panic value must not unwrap")
+	}
+}
+
+func TestTag(t *testing.T) {
+	if Tag(nil, ErrMemoryLimit) != nil {
+		t.Fatal("Tag(nil) != nil")
+	}
+	base := errors.New("estimate 100 over limit 10")
+	tagged := Tag(base, ErrMemoryLimit)
+	if !errors.Is(tagged, ErrMemoryLimit) || !errors.Is(tagged, base) {
+		t.Fatal("tagged error must match both chains")
+	}
+	if tagged.Error() != base.Error() {
+		t.Fatalf("Tag changed the message: %q", tagged.Error())
+	}
+	if again := Tag(tagged, ErrMemoryLimit); again != tagged {
+		t.Fatal("re-tagging must be a no-op")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if Classify(nil) != nil {
+		t.Fatal("Classify(nil) != nil")
+	}
+	plain := errors.New("plain")
+	if Classify(plain) != plain {
+		t.Fatal("Classify must pass unrelated errors through")
+	}
+
+	canceled := fmt.Errorf("op: %w", context.Canceled)
+	if !errors.Is(Classify(canceled), ErrQueryCanceled) {
+		t.Fatal("canceled not classified")
+	}
+	deadline := fmt.Errorf("op: %w", context.DeadlineExceeded)
+	if !errors.Is(Classify(deadline), ErrQueryTimeout) {
+		t.Fatal("deadline not classified")
+	}
+
+	// A context that both timed out and was cancelled reports the deadline;
+	// the timeout classification must win.
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	<-ctx.Done()
+	got := Classify(ctx.Err())
+	if !errors.Is(got, ErrQueryTimeout) || errors.Is(got, ErrQueryCanceled) {
+		t.Fatalf("timed-out context classified as %v", got)
+	}
+}
+
+func TestClassifyKeepsMessage(t *testing.T) {
+	err := fmt.Errorf("core: select %q: %w", "pos", context.Canceled)
+	got := Classify(err)
+	if !strings.Contains(got.Error(), `select "pos"`) {
+		t.Fatalf("classification lost context: %q", got.Error())
+	}
+}
