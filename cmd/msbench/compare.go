@@ -27,6 +27,7 @@ const (
 	gateRate                        // lower is better, machine-independent (compressed/uncompressed)
 	gateInfo                        // reported and included in the speed scale, but never failed
 	gateRatio                       // higher is better, machine-independent speedup ratio
+	gateCeiling                     // lower is better, machine-invariant, absolute ceiling (overhead percentages)
 )
 
 func classifyMetric(section, metric string) gatedKind {
@@ -52,6 +53,14 @@ func classifyMetric(section, metric string) gatedKind {
 		return gateThroughput
 	case metric == "rate":
 		return gateRate
+	case metric == "overhead_pct":
+		// The observability layer's projected detached-instrumentation
+		// slowdown (see the msbench "metrics" section): a ratio of
+		// same-machine timings, so machine-invariant, gated against the
+		// absolute overheadCeilingPct budget rather than the baseline value.
+		// It is excluded from the speed scale (only gateThroughput/gateInfo
+		// feed it), so this ratio cannot skew the throughput gates.
+		return gateCeiling
 	case metric == "serial_over_concat":
 		// The compressed stitch's serial-cost reduction: machine-invariant
 		// (a ratio of two same-machine timings), gated so a change that
@@ -73,6 +82,13 @@ func classifyMetric(section, metric string) gatedKind {
 // regression (per-block or per-element work back in the concat path)
 // collapses the hundreds-fold ratio by well over an order of magnitude.
 const ratioFloorFrac = 0.2
+
+// overheadCeilingPct is the gateCeiling failure line: the observability
+// layer's projected slowdown with no collector attached must stay below 2%
+// of query runtime (the acceptance budget; the measured value sits around
+// two orders of magnitude under it, so the gate only trips when someone puts
+// real work — an allocation, a lock, a clock read — on the detached path).
+const overheadCeilingPct = 2.0
 
 func recordKey(r Record) string { return r.Section + "/" + r.Name + "/" + r.Metric }
 
@@ -161,6 +177,14 @@ func compareReports(base, run *Report, tolerance float64) (lines, failures []str
 					key, rr.Value, br.Value))
 			}
 			lines = append(lines, fmt.Sprintf("  %-55s %7.1fx -> %7.1fx  %s", key, br.Value, rr.Value, status))
+		case gateCeiling:
+			status := "ok"
+			if rr.Value > overheadCeilingPct {
+				status = "REGRESSION"
+				failures = append(failures, fmt.Sprintf("%s: overhead %.3f%% exceeds the %.1f%% ceiling",
+					key, rr.Value, overheadCeilingPct))
+			}
+			lines = append(lines, fmt.Sprintf("  %-55s %7.3f%% -> %7.3f%%  (ceiling %.1f%%)  %s", key, br.Value, rr.Value, overheadCeilingPct, status))
 		}
 	}
 	for _, rr := range run.Records {

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -28,6 +29,7 @@ import (
 	"morphstore/internal/datagen"
 	"morphstore/internal/faultpoint"
 	"morphstore/internal/formats"
+	"morphstore/internal/metrics"
 	"morphstore/internal/morph"
 	"morphstore/internal/ops"
 	"morphstore/internal/stats"
@@ -73,6 +75,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	repeats := flag.Int("repeats", 3, "repetitions (minimum reported)")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "max parallelism degree for the morsel-parallel section")
+	trace := flag.String("trace", "", "write a JSON-lines execution trace of the observability section's query to this file")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
 	merge := flag.Bool("merge", false, "merge the report files given as arguments by per-metric median and emit the result (no benchmarks run)")
 	compare := flag.String("compare", "", "baseline JSON report to gate against (exit 1 on regression)")
@@ -104,7 +107,7 @@ func main() {
 			*par = 1
 		}
 		b := &bench{jsonOut: *jsonOut}
-		if err := run(b, *n, *seed, *repeats, *par); err != nil {
+		if err := run(b, *n, *seed, *repeats, *par, *trace); err != nil {
 			log.Fatal(err)
 		}
 		rep = &Report{N: *n, Seed: *seed, Repeats: *repeats, GoMaxProc: runtime.GOMAXPROCS(0), Records: b.records}
@@ -151,7 +154,7 @@ func writeJSON(rep *Report) {
 	}
 }
 
-func run(b *bench, n int, seed int64, repeats, par int) error {
+func run(b *bench, n int, seed int64, repeats, par int, tracePath string) error {
 	b.printf("codec micro-benchmarks, n=%d elements (%.0f MiB uncompressed)\n\n", n, float64(n*8)/(1<<20))
 
 	for _, id := range datagen.All {
@@ -506,6 +509,95 @@ func run(b *bench, n int, seed int64, repeats, par int) error {
 		b.printf("conc=%-3d %8.1f queries/s\n", conc, qps)
 		b.record("multiquery", fmt.Sprintf("conc%d", conc), "qps", qps)
 	}
+
+	// Observability: the stats collector and tracer on the same prepared
+	// query the multi-query section used. metrics_overhead is the projected
+	// slowdown of a collector-DETACHED execution — the per-event cost of the
+	// nil-receiver bookkeeping times the events one execution performs,
+	// relative to the execution's runtime — gated against the absolute 2%
+	// ceiling (compare.go: gateCeiling). The attached and traced ratios are
+	// informational; regressions on the detached hot path itself are caught
+	// by the gated throughput metrics above, which all run collector-free.
+	b.printf("\n-- observability (per-query stats collection, JSONL tracing) --\n")
+	var qs metrics.QueryStats
+	if _, err := pq.Execute(context.Background(), core.WithExecStats(&qs)); err != nil {
+		return err
+	}
+	tPlain, err := minTime(repeats, func() error {
+		_, err := pq.Execute(context.Background())
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	tStats, err := minTime(repeats, func() error {
+		var s metrics.QueryStats
+		_, err := pq.Execute(context.Background(), core.WithExecStats(&s))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	tTrace, err := minTime(repeats, func() error {
+		_, err := pq.Execute(context.Background(), core.WithTracer(metrics.NewJSONLTracer(io.Discard)))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		tr := metrics.NewJSONLTracer(f)
+		if _, err := pq.Execute(context.Background(), core.WithTracer(tr)); err != nil {
+			return err
+		}
+		if err := tr.Err(); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		b.printf("execution trace written to %s\n", tracePath)
+	}
+	// Per-event cost of the detached bookkeeping: nil-receiver collector
+	// calls, the exact operations a detached execution performs. The
+	// rotating receiver index keeps the compiler from hoisting the nil check
+	// out of the loop.
+	nilNCs := [2]*metrics.NodeCollector{}
+	const bookCalls = 1 << 24
+	startBook := time.Now()
+	for i := 0; i < bookCalls; i++ {
+		if nilNCs[i&1].Shards(0) != nil {
+			return fmt.Errorf("nil collector returned shards")
+		}
+	}
+	perCall := float64(time.Since(startBook).Nanoseconds()) / bookCalls
+	// Events per detached execution: one shard check per morsel claim, plus
+	// a small constant of per-node calls (Node, Begin, Finish, lease
+	// observer check); the attached run's stats tree supplies the counts.
+	events := int64(5 * len(qs.Nodes))
+	for _, ns := range qs.Nodes {
+		events += ns.Morsels
+	}
+	overheadPct := 100 * perCall * float64(events) / float64(tPlain.Nanoseconds())
+	var kernel time.Duration
+	var morsels int64
+	for _, ns := range qs.Nodes {
+		kernel += ns.Kernel
+		morsels += ns.Morsels
+	}
+	b.printf("query: %d operators, %d morsels, %v kernel time (stats-collected run)\n", len(qs.Nodes), morsels, kernel)
+	b.printf("detached bookkeeping: %5.2f ns/event x %d events = %.4f%% of the %v query  (gate ceiling 2%%)\n",
+		perCall, events, overheadPct, tPlain)
+	b.printf("attached ratios vs plain: stats %.3fx, jsonl trace %.3fx\n",
+		tStats.Seconds()/tPlain.Seconds(), tTrace.Seconds()/tPlain.Seconds())
+	b.record("metrics", "metrics_overhead", "overhead_pct", overheadPct)
+	b.record("metrics", "detached_bookkeeping", "ns_per_hit", perCall)
+	b.record("metrics", "stats_attached", "ratio_vs_plain", tStats.Seconds()/tPlain.Seconds())
+	b.record("metrics", "jsonl_trace", "ratio_vs_plain", tTrace.Seconds()/tPlain.Seconds())
 
 	// Fault-point overhead: the per-call cost of a disarmed fault point (one
 	// atomic pointer load) on the morsel hot path. Informational — recorded

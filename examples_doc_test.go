@@ -9,6 +9,7 @@ package morphstore_test
 import (
 	"bufio"
 	"context"
+	"fmt"
 	"os"
 	"strings"
 	"testing"
@@ -83,6 +84,52 @@ func TestArchitectureGroupingSnippet(t *testing.T) {
 			t.Fatalf("group %d: key %d sum %d, want key %d sum %d",
 				i, gotKeys[i], gotSums[i], wantKeys[i], wantSums[i])
 		}
+	}
+}
+
+// TestObservabilitySnippet compiles and runs the stats-collection example
+// from docs/OBSERVABILITY.md.
+func TestObservabilitySnippet(t *testing.T) {
+	ctx := context.Background()
+	vals := []uint64{3, 1, 4, 1, 5, 9, 2, 6}
+	db := morphstore.NewDB()
+	db.AddTable("t", map[string][]uint64{"x": vals})
+	b := morphstore.NewPlanBuilder()
+	x := b.Scan("t", "x")
+	match := b.Select("match", x, morphstore.CmpGt, 3)
+	b.Result(b.SumWhole("total", b.Project("matched", x, match)))
+	plan, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := morphstore.NewEngine(db, morphstore.WithParallelism(2))
+	q, err := eng.Prepare(plan, morphstore.WithUniformFormat(morphstore.DynBP))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// doc-snippet:observability-stats docs/OBSERVABILITY.md
+	var qs morphstore.QueryStats
+	res, _ := q.Execute(ctx, morphstore.WithExecStats(&qs))
+	for _, n := range qs.Nodes {
+		fmt.Printf("%-8s %-12s %6d morsels %12v kernel  %v\n",
+			n.Op, n.Name, n.Morsels, n.Kernel, n.Formats)
+	}
+	// end-doc-snippet
+
+	if res == nil || res.Cols["total"] == nil {
+		t.Fatal("collected execution produced no result column")
+	}
+	if qs.Failed || len(qs.Nodes) != 4 {
+		t.Fatalf("stats tree not populated: %+v", qs)
+	}
+	for i, n := range qs.Nodes {
+		if !n.Done {
+			t.Fatalf("node %d not Done after success: %+v", i, n)
+		}
+	}
+	if st := eng.Stats(); st.QueriesSucceeded != 1 {
+		t.Fatalf("engine counters = %+v, want one success", st)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"morphstore/internal/columns"
 	"morphstore/internal/formats"
+	"morphstore/internal/metrics"
 	"morphstore/internal/ops"
 	"morphstore/internal/qerr"
 	"morphstore/internal/vector"
@@ -69,6 +70,11 @@ type options struct {
 	// Output formats of one-off operator calls (one entry applies to every
 	// output; two entries address dual-output operators positionally).
 	output []columns.FormatDesc
+	// Observability (observe.go): the WithExecStats destination of one
+	// execution and the tracer receiving its span/event stream. Both nil on
+	// the common detached path.
+	stats  *metrics.QueryStats
+	tracer metrics.Tracer
 }
 
 // Option is a functional option for NewEngine, Engine.Prepare,
@@ -281,13 +287,15 @@ func (o *options) outputDesc(i int) columns.FormatDesc {
 // Engine owns a database, an engine-wide worker budget shared
 // deterministically by every concurrently executing query and one-off
 // operator call, and an optional admission gate. It is safe for concurrent
-// use; all its state is fixed at construction.
+// use; all its state is fixed at construction except the observability
+// counters behind Stats, which are atomic.
 type Engine struct {
-	db     *DB
-	budget *ops.Budget
-	admit  chan struct{}
-	defs   options
-	err    error
+	db       *DB
+	budget   *ops.Budget
+	admit    chan struct{}
+	defs     options
+	err      error
+	counters engineCounters
 }
 
 // NewEngine returns an engine over db. Options set engine-wide defaults
@@ -301,6 +309,7 @@ func NewEngine(db *DB, o ...Option) *Engine {
 	}
 	defs, err := options{style: vector.Scalar}.merged(scopeEngine, o)
 	e := &Engine{db: db, budget: ops.NewBudget(defs.par), defs: defs, err: err}
+	e.budget.SetTelemetry(e.counters.budget)
 	if defs.maxQueries > 0 {
 		e.admit = make(chan struct{}, defs.maxQueries)
 	}
@@ -438,8 +447,15 @@ func (pr *Prepared) Formats() map[string]columns.FormatDesc {
 // prepared plan and concurrent queries stay fully usable, and re-executing
 // the same Prepared afterwards yields the same columns a fresh execution
 // would. Execute options: WithParallelism (this query's cap), WithKeep,
-// WithQueryTimeout.
+// WithQueryTimeout, WithExecStats, WithTracer.
 func (pr *Prepared) Execute(ctx context.Context, o ...Option) (*Result, error) {
+	res, err := pr.execute(ctx, o)
+	pr.e.counters.query(err)
+	return res, err
+}
+
+// execute is Execute without the engine-counter bookkeeping.
+func (pr *Prepared) execute(ctx context.Context, o []Option) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -473,7 +489,10 @@ func (pr *Prepared) Execute(ctx context.Context, o ...Option) (*Result, error) {
 	if pr.degraded {
 		par = 1
 	}
-	es := &execState{outs: make([][]*columns.Column, len(pr.p.nodes))}
+	es := &execState{
+		outs: make([][]*columns.Column, len(pr.p.nodes)),
+		coll: pr.newCollector(&opt),
+	}
 	res := &Result{
 		Cols: make(map[string]*columns.Column, len(pr.p.sinks)),
 		Meas: Measure{
@@ -489,8 +508,10 @@ func (pr *Prepared) Execute(ctx context.Context, o ...Option) (*Result, error) {
 	} else {
 		err = pr.runConcurrent(ctx, es, res, opt.keep, par)
 	}
+	err = qerr.Classify(err)
+	finishCollector(es.coll, &opt, err)
 	if err != nil {
-		return nil, qerr.Classify(err)
+		return nil, err
 	}
 	return res, nil
 }
@@ -500,10 +521,15 @@ func (pr *Prepared) Execute(ctx context.Context, o ...Option) (*Result, error) {
 // re-divides among the operators still running. Every operator leases up to
 // the full per-query parallelism — with the grouping and sorted-set drivers
 // parallelized there are no cap-1 leases left, so the budget re-division
-// covers the whole plan.
-func (e *Engine) nodeRuntime(ctx context.Context, par int) (ops.Runtime, func()) {
-	lease := e.budget.Lease(par)
-	return ops.RT(ctx, lease, par), lease.Close
+// covers the whole plan. The node's collector (nil when detached) observes
+// every re-division of the lease and the morsel loops run through it.
+func (e *Engine) nodeRuntime(ctx context.Context, par int, nc *metrics.NodeCollector) (ops.Runtime, func()) {
+	var obs func(int)
+	if nc != nil {
+		obs = nc.LeaseLimit
+	}
+	lease := e.budget.LeaseObserved(par, obs)
+	return ops.RT(ctx, lease, par).WithCollector(nc), lease.Close
 }
 
 // runNode executes one bound operator under its budget lease. Scans do no
@@ -518,6 +544,12 @@ func (e *Engine) nodeRuntime(ctx context.Context, par int) (ops.Runtime, func())
 // after the lease's deferred release, so a panicking node cannot leak its
 // budget share.
 func (pr *Prepared) runNode(ctx context.Context, es *execState, bn *boundNode, par int) (produced []*columns.Column, err error) {
+	// The collector's Finish defer is registered before the recover guard so
+	// it runs after it and records the final, panic-converted outcome — a
+	// panicking node still leaves a coherent partial stats entry.
+	nc := es.coll.Node(bn.n.id)
+	nc.Begin(inputValues(es, bn.n))
+	defer func() { nc.Finish(outputValues(produced), outputFormats(produced), err) }()
 	defer func() {
 		if v := recover(); v != nil {
 			qe := qerr.Recovered(v, -1)
@@ -531,9 +563,9 @@ func (pr *Prepared) runNode(ctx context.Context, es *execState, bn *boundNode, p
 		}
 	}()
 	if bn.n.op == OpScan {
-		return bn.run(es, ops.RT(ctx, nil, 1))
+		return bn.run(es, ops.RT(ctx, nil, 1).WithCollector(nc))
 	}
-	rt, release := pr.e.nodeRuntime(ctx, par)
+	rt, release := pr.e.nodeRuntime(ctx, par, nc)
 	defer release()
 	produced, err = bn.run(es, rt)
 	if err != nil {

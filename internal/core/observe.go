@@ -1,0 +1,227 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"morphstore/internal/columns"
+	"morphstore/internal/metrics"
+	"morphstore/internal/ops"
+	"morphstore/internal/qerr"
+)
+
+// This file wires the observability layer (internal/metrics) through the
+// engine: the WithExecStats/WithTracer execution options, the per-execution
+// collector construction, the engine-wide query/budget counters behind
+// Engine.Stats, and the cardinality/format extraction the metrics package —
+// a std-only leaf — cannot do itself.
+
+// WithExecStats attaches a stats collector to one execution: when Execute
+// returns, *dst holds the execution's QueryStats tree (per-operator morsel
+// timings, cardinalities, formats, budget lease history), on success and
+// failure alike. The collected columns are byte-identical to an uncollected
+// run. Applies to Execute.
+func WithExecStats(dst *metrics.QueryStats) Option {
+	return Option{name: "WithExecStats", scope: scopeExec,
+		apply: func(o *options) { o.stats = dst }}
+}
+
+// WithTracer streams live span begin/end and re-division events of every
+// execution it applies to into t (see metrics.Tracer). At NewEngine or
+// Prepare it covers every execution of the engine or plan; at Execute just
+// that call. Attaching a tracer implies collection, so WithExecStats is not
+// required to trace. Applies to NewEngine, Prepare, and Execute.
+func WithTracer(t metrics.Tracer) Option {
+	return Option{name: "WithTracer", scope: scopeEngine | scopePrepare | scopeExec,
+		apply: func(o *options) { o.tracer = t }}
+}
+
+// engineCounters is the engine-wide observability state: monotonically
+// increasing atomic counters, updated on every Execute outcome and every
+// budget telemetry event. It is the only mutable state an Engine carries.
+type engineCounters struct {
+	started       atomic.Int64
+	succeeded     atomic.Int64
+	rejected      atomic.Int64
+	canceled      atomic.Int64
+	timedOut      atomic.Int64
+	corrupt       atomic.Int64
+	panicked      atomic.Int64
+	failedOther   atomic.Int64
+	leaseGrants   atomic.Int64
+	leaseShrinks  atomic.Int64
+	leaseReleases atomic.Int64
+}
+
+// query books one Execute outcome into exactly one outcome counter, chosen
+// by qerr taxonomy class.
+func (c *engineCounters) query(err error) {
+	c.started.Add(1)
+	var qe *qerr.QueryError
+	switch {
+	case err == nil:
+		c.succeeded.Add(1)
+	case errors.Is(err, qerr.ErrAdmissionRejected):
+		c.rejected.Add(1)
+	case errors.Is(err, qerr.ErrQueryTimeout):
+		c.timedOut.Add(1)
+	case errors.Is(err, qerr.ErrQueryCanceled):
+		c.canceled.Add(1)
+	case errors.Is(err, qerr.ErrCorruptData):
+		c.corrupt.Add(1)
+	case errors.As(err, &qe):
+		c.panicked.Add(1)
+	default:
+		c.failedOther.Add(1)
+	}
+}
+
+// budget books one budget telemetry event. It runs under the budget mutex
+// (see ops.Budget.SetTelemetry), hence plain atomic adds only.
+func (c *engineCounters) budget(ev ops.BudgetEvent) {
+	switch ev.Kind {
+	case ops.BudgetGrant:
+		c.leaseGrants.Add(1)
+	case ops.BudgetShrink:
+		c.leaseShrinks.Add(1)
+	case ops.BudgetRelease:
+		c.leaseReleases.Add(1)
+	}
+}
+
+// EngineStats is a point-in-time snapshot of an engine's lifetime counters
+// and current budget utilization, returned by Engine.Stats. The outcome
+// counters partition QueriesStarted: each finished Execute call lands in
+// exactly one of them (classification order: rejected, timeout, canceled,
+// corrupt, panic, other), so Succeeded + the failure counters equals
+// Started minus the executions still in flight.
+type EngineStats struct {
+	// QueriesStarted counts Execute calls that entered the engine.
+	QueriesStarted int64
+	// QueriesSucceeded counts executions that returned a result.
+	QueriesSucceeded int64
+	// QueriesRejected counts executions that never started because the
+	// admission gate did not open before their context fired.
+	QueriesRejected int64
+	// QueriesCanceled counts executions stopped by context cancellation.
+	QueriesCanceled int64
+	// QueriesTimedOut counts executions stopped by a deadline.
+	QueriesTimedOut int64
+	// QueriesCorrupt counts executions failed on corrupt compressed data.
+	QueriesCorrupt int64
+	// QueriesPanicked counts executions failed by a recovered operator
+	// panic not classified as one of the above.
+	QueriesPanicked int64
+	// QueriesFailedOther counts the remaining failures (e.g. misplaced
+	// options).
+	QueriesFailedOther int64
+	// BudgetTotal is the engine's worker allowance.
+	BudgetTotal int
+	// BudgetLeases is the number of operators currently holding a lease.
+	BudgetLeases int
+	// BudgetInUse is the number of worker slots currently acquired.
+	BudgetInUse int
+	// LeaseGrants counts budget lease registrations (one per non-scan
+	// operator run, engine-lifetime).
+	LeaseGrants int64
+	// LeaseShrinks counts sequential-fallback cap reductions.
+	LeaseShrinks int64
+	// LeaseReleases counts lease closes; it catches up with LeaseGrants
+	// whenever the engine is idle.
+	LeaseReleases int64
+}
+
+// Stats returns a snapshot of the engine's lifetime query counters and
+// current budget utilization. Counters cover Prepared.Execute calls (the
+// deprecated one-off operator methods lease budget — visible in the lease
+// counters — but are not counted as queries). Safe for concurrent use; the
+// fields are read individually, so a snapshot taken while queries run is
+// approximate across fields but each field is exact.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		QueriesStarted:     e.counters.started.Load(),
+		QueriesSucceeded:   e.counters.succeeded.Load(),
+		QueriesRejected:    e.counters.rejected.Load(),
+		QueriesCanceled:    e.counters.canceled.Load(),
+		QueriesTimedOut:    e.counters.timedOut.Load(),
+		QueriesCorrupt:     e.counters.corrupt.Load(),
+		QueriesPanicked:    e.counters.panicked.Load(),
+		QueriesFailedOther: e.counters.failedOther.Load(),
+		BudgetTotal:        e.budget.Total(),
+		BudgetLeases:       e.budget.Leases(),
+		BudgetInUse:        e.budget.InUse(),
+		LeaseGrants:        e.counters.leaseGrants.Load(),
+		LeaseShrinks:       e.counters.leaseShrinks.Load(),
+		LeaseReleases:      e.counters.leaseReleases.Load(),
+	}
+}
+
+// newCollector builds the execution's collector when stats or tracing were
+// requested, pre-defining every plan node so even a failed execution's tree
+// is fully labelled. Detached executions (the common case) return nil.
+func (pr *Prepared) newCollector(opt *options) *metrics.Collector {
+	if opt.stats == nil && opt.tracer == nil {
+		return nil
+	}
+	coll := metrics.NewCollector(len(pr.p.nodes), opt.tracer)
+	for _, n := range pr.p.nodes {
+		var inputs []int
+		seen := make(map[int]bool, len(n.inputs))
+		for _, ref := range n.inputs {
+			if id := ref.node.id; !seen[id] {
+				seen[id] = true
+				inputs = append(inputs, id)
+			}
+		}
+		coll.Define(n.id, n.outNames[0], n.op.String(), inputs)
+	}
+	return coll
+}
+
+// finishCollector assembles the execution's stats tree, copies it into the
+// WithExecStats destination, and attaches it to a *QueryError failure.
+func finishCollector(coll *metrics.Collector, opt *options, err error) {
+	if coll == nil {
+		return
+	}
+	qs := coll.Finish(err)
+	if opt.stats != nil {
+		*opt.stats = *qs
+	}
+	var qe *qerr.QueryError
+	if errors.As(err, &qe) {
+		qe.Stats = qs
+	}
+}
+
+// inputValues sums the element counts of a node's bound inputs; each
+// consumed column reference counts (a project's data and positions inputs
+// both do).
+func inputValues(es *execState, n *Node) int64 {
+	var total int64
+	for _, ref := range n.inputs {
+		total += int64(es.in(ref).N())
+	}
+	return total
+}
+
+// outputValues sums the element counts of a node's produced columns.
+func outputValues(produced []*columns.Column) int64 {
+	var total int64
+	for _, col := range produced {
+		total += int64(col.N())
+	}
+	return total
+}
+
+// outputFormats names the format kind each produced column materialized in.
+func outputFormats(produced []*columns.Column) []string {
+	if len(produced) == 0 {
+		return nil
+	}
+	fs := make([]string, len(produced))
+	for i, col := range produced {
+		fs[i] = col.Desc().Kind.String()
+	}
+	return fs
+}

@@ -5,6 +5,7 @@ import (
 
 	"morphstore/internal/columns"
 	"morphstore/internal/formats"
+	"morphstore/internal/metrics"
 	"morphstore/internal/morph"
 	"morphstore/internal/ops"
 )
@@ -41,10 +42,12 @@ type boundNode struct {
 }
 
 // execState is the mutable state of one plan execution: the per-node output
-// slots. The scheduler publishes a node's outputs before any dependent is
-// popped, which establishes the happens-before edge for readers.
+// slots, plus the execution's stats collector (nil when detached). The
+// scheduler publishes a node's outputs before any dependent is popped, which
+// establishes the happens-before edge for readers.
 type execState struct {
 	outs [][]*columns.Column
+	coll *metrics.Collector
 }
 
 // in resolves a bound input reference against the execution state.

@@ -6,9 +6,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"morphstore/internal/faultpoint"
 	"morphstore/internal/formats"
+	"morphstore/internal/metrics"
 	"morphstore/internal/qerr"
 )
 
@@ -33,6 +35,70 @@ type Budget struct {
 	total  int
 	nextID uint64
 	leases []*Lease
+	telem  atomic.Pointer[func(BudgetEvent)]
+}
+
+// BudgetEventKind classifies a BudgetEvent.
+type BudgetEventKind uint8
+
+// The budget telemetry event kinds.
+const (
+	// BudgetGrant is a new lease registration.
+	BudgetGrant BudgetEventKind = iota
+	// BudgetShrink is a lease lowering its own cap (sequential fallback).
+	BudgetShrink
+	// BudgetRelease is a lease closing.
+	BudgetRelease
+)
+
+// String names the event kind.
+func (k BudgetEventKind) String() string {
+	switch k {
+	case BudgetGrant:
+		return "grant"
+	case BudgetShrink:
+		return "shrink"
+	case BudgetRelease:
+		return "release"
+	}
+	return "unknown"
+}
+
+// BudgetEvent is one entry of the budget telemetry stream: a lease was
+// granted, shrunk, or released, and the allowance re-divided.
+type BudgetEvent struct {
+	// Kind is the event class.
+	Kind BudgetEventKind
+	// Lease is the affected lease's budget-unique id.
+	Lease uint64
+	// Cap is the lease's worker cap after the event (0 for a release).
+	Cap int
+	// Limit is the lease's re-divided worker limit after the event (0 for
+	// a release).
+	Limit int
+	// Leases is the open-lease count after the event.
+	Leases int
+}
+
+// SetTelemetry installs fn as the budget's telemetry sink, called on every
+// lease grant, shrink, and release; nil detaches it. The sink runs with the
+// budget mutex held, so it must be fast and must not call back into the
+// budget — the engine attaches an atomic-counter sink. Detached cost is one
+// atomic pointer load per event, and events are per operator, not per
+// morsel.
+func (b *Budget) SetTelemetry(fn func(BudgetEvent)) {
+	if fn == nil {
+		b.telem.Store(nil)
+		return
+	}
+	b.telem.Store(&fn)
+}
+
+// emit forwards one telemetry event; called with b.mu held.
+func (b *Budget) emit(ev BudgetEvent) {
+	if fn := b.telem.Load(); fn != nil {
+		(*fn)(ev)
+	}
 }
 
 // NewBudget returns a budget of total worker slots; total <= 0 means
@@ -57,13 +123,21 @@ type Lease struct {
 	cap   int // most workers this operator can ever use
 	limit int // current allowance, set by redivide
 	inUse int
+	obs   func(limit int) // per-lease limit observer, may be nil
 }
 
 // Lease registers an operator that can use at most cap concurrent workers
 // and returns its lease. Every open lease is guaranteed a limit of at least
 // one worker (progress), so the combined limit can exceed the total only
 // when more operators run than the budget has slots.
-func (b *Budget) Lease(cap int) *Lease {
+func (b *Budget) Lease(cap int) *Lease { return b.LeaseObserved(cap, nil) }
+
+// LeaseObserved is Lease with a per-lease observer: obs is called with the
+// lease's new worker limit whenever a re-division changes it, including the
+// initial grant. Like the telemetry sink, obs runs with the budget mutex
+// held and must not call back into the budget; the engine attaches the
+// node's stats collector here. obs may be nil.
+func (b *Budget) LeaseObserved(cap int, obs func(limit int)) *Lease {
 	if cap < 1 {
 		cap = 1
 	}
@@ -73,10 +147,11 @@ func (b *Budget) Lease(cap int) *Lease {
 	faultpoint.BudgetRedivide.MustHit()
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	l := &Lease{b: b, id: b.nextID, cap: cap}
+	l := &Lease{b: b, id: b.nextID, cap: cap, obs: obs}
 	b.nextID++
 	b.leases = append(b.leases, l)
 	b.redivide()
+	b.emit(BudgetEvent{Kind: BudgetGrant, Lease: l.id, Cap: l.cap, Limit: l.limit, Leases: len(b.leases)})
 	return l
 }
 
@@ -106,7 +181,12 @@ func (b *Budget) redivide() {
 		if lim < 1 {
 			lim = 1
 		}
-		l.limit = lim
+		if lim != l.limit {
+			l.limit = lim
+			if l.obs != nil {
+				l.obs(lim)
+			}
+		}
 		remaining -= lim
 		if remaining < 0 {
 			remaining = 0
@@ -128,6 +208,7 @@ func (l *Lease) Close() {
 		}
 	}
 	b.redivide()
+	b.emit(BudgetEvent{Kind: BudgetRelease, Lease: l.id, Leases: len(b.leases)})
 }
 
 // Shrink lowers the lease's worker cap (never below one, never raising it)
@@ -147,6 +228,7 @@ func (l *Lease) Shrink(cap int) {
 	}
 	l.cap = cap
 	b.redivide()
+	b.emit(BudgetEvent{Kind: BudgetShrink, Lease: l.id, Cap: l.cap, Limit: l.limit, Leases: len(b.leases)})
 }
 
 // acquire blocks until the lease has a free worker slot; it returns false
@@ -210,12 +292,14 @@ func (b *Budget) InUse() int {
 
 // Runtime carries the execution environment of one operator invocation:
 // the cancellation context, the operator's budget lease (nil outside an
-// engine), and the morsel-parallelism cap. The zero value behaves like the
-// legacy fixed par=1 sequential execution.
+// engine), the morsel-parallelism cap, and the operator's stats collector
+// (nil when detached). The zero value behaves like the legacy fixed par=1
+// sequential execution.
 type Runtime struct {
 	ctx   context.Context
 	lease *Lease
 	par   int
+	coll  *metrics.NodeCollector
 }
 
 // FixedRT returns a runtime with a fixed worker count and no budget sharing
@@ -226,6 +310,15 @@ func FixedRT(par int) Runtime { return Runtime{par: par} }
 // and lease (which may be nil) gates the concurrently running workers.
 func RT(ctx context.Context, lease *Lease, par int) Runtime {
 	return Runtime{ctx: ctx, lease: lease, par: par}
+}
+
+// WithCollector returns a copy of the runtime reporting morsel counts,
+// kernel timings, and fallback events to nc. A nil nc (or never calling
+// WithCollector) is the detached mode: the morsel loop pays one nil check
+// per claim and zero allocations.
+func (rt Runtime) WithCollector(nc *metrics.NodeCollector) Runtime {
+	rt.coll = nc
+	return rt
 }
 
 // Par returns the runtime's morsel-parallelism cap (at least 1).
@@ -255,6 +348,7 @@ func (rt Runtime) seqFallback() {
 	if rt.lease != nil {
 		rt.lease.Shrink(1)
 	}
+	rt.coll.SeqFallback()
 }
 
 // guarded runs fn for morsel i and converts a panic — in the kernel, in a
@@ -290,6 +384,9 @@ func guarded(i int, fn func() error) (err error) {
 // run returns the context's error.
 func (rt Runtime) runParts(parts []formats.Partition, fn func(worker, i int, pt formats.Partition) error) error {
 	workers := rt.workers(len(parts))
+	// shards is nil when no collector is attached — the detached morsel loop
+	// pays exactly one nil check per claim, no clock reads, no allocations.
+	shards := rt.coll.Shards(workers)
 	errs := make([]error, len(parts))
 	var next, completed atomic.Int64
 	var failed atomic.Bool
@@ -314,8 +411,12 @@ func (rt Runtime) runParts(parts []formats.Partition, fn func(worker, i int, pt 
 				}
 				if err := faultpoint.MorselClaim.Hit(); err != nil {
 					errs[i] = err
-				} else {
+				} else if shards == nil {
 					errs[i] = guarded(i, func() error { return fn(w, i, parts[i]) })
+				} else {
+					t0 := time.Now()
+					errs[i] = guarded(i, func() error { return fn(w, i, parts[i]) })
+					shards[w].Record(time.Since(t0))
 				}
 				if errs[i] != nil {
 					failed.Store(true)

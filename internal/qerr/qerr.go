@@ -18,9 +18,10 @@
 //     recovered and isolated to the failing query.
 //
 // The package sits below internal/formats, internal/ops, and internal/core
-// and imports none of them, so every layer can tag errors without cycles.
-// The root morphstore package re-exports the sentinels and the QueryError
-// type as its public error API.
+// and imports none of them (only the leaf internal/metrics, for the stats
+// tree a failed execution carries), so every layer can tag errors without
+// cycles. The root morphstore package re-exports the sentinels and the
+// QueryError type as its public error API.
 package qerr
 
 import (
@@ -28,6 +29,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+
+	"morphstore/internal/metrics"
 )
 
 // The sentinel errors of the taxonomy. They are compared with errors.Is;
@@ -65,6 +68,10 @@ type QueryError struct {
 	Panic any
 	// Stack is the panicking goroutine's stack trace.
 	Stack []byte
+	// Stats is the failed execution's partial stats tree, attached by the
+	// execution layer when a collector was attached (nil otherwise). Nodes
+	// that never ran have Started == false; the panicking node carries Err.
+	Stats *metrics.QueryStats
 }
 
 // Error formats the failure with its operator and morsel context.
