@@ -19,6 +19,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -32,6 +33,7 @@ import (
 	"morphstore/internal/metrics"
 	"morphstore/internal/morph"
 	"morphstore/internal/ops"
+	"morphstore/internal/qerr"
 	"morphstore/internal/stats"
 	"morphstore/internal/vector"
 )
@@ -509,6 +511,80 @@ func run(b *bench, n int, seed int64, repeats, par int, tracePath string) error 
 		b.printf("conc=%-3d %8.1f queries/s\n", conc, qps)
 		b.record("multiquery", fmt.Sprintf("conc%d", conc), "qps", qps)
 	}
+
+	// Overload: the same prepared plan driven at 4x over-admission against a
+	// slot-bounded engine with a small bounded queue. Shed rate and the
+	// admission-wait distribution of the admitted queries characterize the
+	// overload-protection layer; goodput (qps of completed queries) shows
+	// what the engine still delivers under pressure. A graceful Close drains
+	// the engine at the end. All informational: the numbers depend on the
+	// runner's core count and scheduler like the multiquery qps.
+	overClients := 4 * par
+	b.printf("\n-- overload (%d slots, %d-deep queue, %d closed-loop clients) --\n",
+		par, 2*par, overClients)
+	oeng := core.NewEngine(enc, core.WithParallelism(par), core.WithStyle(vector.Vec512),
+		core.WithMaxConcurrentQueries(par),
+		core.WithAdmissionQueue(2*par, 5*time.Millisecond))
+	opq, err := oeng.Prepare(plan, core.WithFormats(map[string]columns.FormatDesc{
+		"pos": columns.DeltaBPDesc, "vals": columns.DynBPDesc}))
+	if err != nil {
+		return err
+	}
+	const queriesPerClient = 4
+	var omu sync.Mutex
+	var waits []time.Duration
+	var shedCount, doneCount int
+	startOver := time.Now()
+	var owg sync.WaitGroup
+	oerrCh := make(chan error, overClients)
+	for c := 0; c < overClients; c++ {
+		owg.Add(1)
+		go func() {
+			defer owg.Done()
+			for q := 0; q < queriesPerClient; q++ {
+				var s metrics.QueryStats
+				_, err := opq.Execute(context.Background(), core.WithExecStats(&s))
+				omu.Lock()
+				switch {
+				case err == nil:
+					doneCount++
+					waits = append(waits, s.AdmissionWait)
+				case qerr.IsRetryable(err):
+					shedCount++ // admission shed: the closed-loop client moves on
+				default:
+					omu.Unlock()
+					oerrCh <- err
+					return
+				}
+				omu.Unlock()
+			}
+		}()
+	}
+	owg.Wait()
+	overElapsed := time.Since(startOver)
+	close(oerrCh)
+	if err := <-oerrCh; err != nil {
+		return err
+	}
+	if err := oeng.Close(context.Background()); err != nil {
+		return err
+	}
+	sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+	pct := func(p float64) time.Duration {
+		if len(waits) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(waits)-1))
+		return waits[i]
+	}
+	shedRate := float64(shedCount) / float64(shedCount+doneCount)
+	goodput := float64(doneCount) / overElapsed.Seconds()
+	b.printf("shed %d of %d (%.0f%%), goodput %.1f queries/s, admission wait p50 %v p99 %v\n",
+		shedCount, shedCount+doneCount, 100*shedRate, goodput, pct(0.50), pct(0.99))
+	b.record("overload", "storm", "shed_rate", shedRate)
+	b.record("overload", "storm", "qps", goodput)
+	b.record("overload", "storm", "wait_p50_ms", pct(0.50).Seconds()*1e3)
+	b.record("overload", "storm", "wait_p99_ms", pct(0.99).Seconds()*1e3)
 
 	// Observability: the stats collector and tracer on the same prepared
 	// query the multi-query section used. metrics_overhead is the projected

@@ -31,16 +31,21 @@
 package morphstore
 
 import (
+	"time"
+
 	"morphstore/internal/core"
 )
 
 // Engine owns a database, an engine-wide worker budget shared
 // deterministically by every concurrently executing query and one-off
-// operator call, and an optional admission gate. It is safe for concurrent
-// use. See core.Engine for the full method set: Prepare plus the one-off
-// operators Select, SelectBetween, Project, Sum, SumGrouped, SemiJoin,
-// JoinN1, Calc, Intersect, Union, GroupFirst, and GroupNext, all taking a
-// context and options.
+// operator call, a bounded admission queue, and an optional runtime memory
+// governor. It is safe for concurrent use, and shuts down gracefully with
+// Close: admission stops (later calls match ErrEngineClosed), in-flight
+// work drains, and stragglers are cancelled at the context's deadline. See
+// core.Engine for the full method set: Prepare, Close, Stats, plus the
+// one-off operators Select, SelectBetween, Project, Sum, SumGrouped,
+// SemiJoin, JoinN1, Calc, Intersect, Union, GroupFirst, and GroupNext, all
+// taking a context and options.
 type Engine = core.Engine
 
 // Prepared is a plan compiled against one engine: formats resolved, every
@@ -55,7 +60,9 @@ type Option = core.Option
 // NewEngine returns an engine over db (nil means an empty database, for
 // one-off operator use). Options set engine-wide defaults (WithStyle,
 // WithSpecialized, WithAutoMorph), the worker budget (WithParallelism:
-// 0 = GOMAXPROCS), and the admission gate (WithMaxConcurrentQueries).
+// 0 = GOMAXPROCS), the admission layer (WithMaxConcurrentQueries,
+// WithAdmissionQueue), the runtime memory governor (WithMemoryBudget), and
+// the retry policy (WithRetry).
 func NewEngine(db *DB, opts ...Option) *Engine { return core.NewEngine(db, opts...) }
 
 // WithStyle selects the processing-style specialization of all kernels.
@@ -85,9 +92,43 @@ func WithKeep(on bool) Option { return core.WithKeep(on) }
 func WithParallelism(n int) Option { return core.WithParallelism(n) }
 
 // WithMaxConcurrentQueries bounds how many Execute calls run at once; the
-// surplus waits (honouring ctx) at the engine's admission gate. 0 means
-// unlimited. Applies to NewEngine.
+// surplus parks in the engine's admission queue (honouring ctx and the
+// WithAdmissionQueue bounds) and is admitted FIFO. 0 means unlimited.
+// Applies to NewEngine.
 func WithMaxConcurrentQueries(n int) Option { return core.WithMaxConcurrentQueries(n) }
+
+// WithAdmissionQueue bounds the engine's admission queue behind
+// WithMaxConcurrentQueries: at most depth queries park at once and none
+// parks longer than maxWait. A query arriving at a full queue, or parked
+// past maxWait or its own context's expiry, is shed with an error matching
+// ErrAdmissionRejected (retryable — it never started). depth 0 means an
+// unbounded queue, maxWait 0 no wait bound. Applies to NewEngine.
+func WithAdmissionQueue(depth int, maxWait time.Duration) Option {
+	return core.WithAdmissionQueue(depth, maxWait)
+}
+
+// WithMemoryBudget gives the engine a runtime memory governor: an
+// engine-wide byte budget for the intermediates of all concurrently
+// executing queries. Each execution reserves its plan's estimate
+// (Prepared.MemoryEstimate) at admission; queries that do not fit wait,
+// shed with ErrAdmissionRejected when their wait expires, or fail with
+// ErrMemoryLimit when the estimate exceeds the whole budget (degrading to
+// sequential execution instead under WithMemoryLimitDegrade). Actual peak
+// usage is reported in QueryStats.MemPeak and Engine.Stats. 0 means no
+// governor. Applies to NewEngine.
+func WithMemoryBudget(bytes int64) Option { return core.WithMemoryBudget(bytes) }
+
+// RetryPolicy configures WithRetry: the attempt bound and the jittered
+// exponential backoff between attempts. The zero policy disables retries.
+type RetryPolicy = core.RetryPolicy
+
+// WithRetry retries an execution whose failure IsRetryable reports
+// retryable (admission sheds, transient faults — never mid-flight
+// cancellations, corrupt data, or a closed engine), up to the policy's
+// MaxAttempts, sleeping its jittered exponential backoff between attempts.
+// The caller's context covers all attempts; WithQueryTimeout applies per
+// attempt. Applies to NewEngine, Prepare, and Execute.
+func WithRetry(p RetryPolicy) Option { return core.WithRetry(p) }
 
 // WithFormat assigns a compression format to one named plan column,
 // overriding WithUniformFormat/WithCostBasedFormats choices. Applies to

@@ -10,6 +10,10 @@
 //		// the deadline (or WithQueryTimeout) fired — maybe retry smaller
 //	case errors.Is(err, morphstore.ErrQueryCanceled):
 //		// the caller's context was cancelled
+//	case errors.Is(err, morphstore.ErrAdmissionRejected):
+//		// shed under overload before it started — safe to retry
+//	case errors.Is(err, morphstore.ErrEngineClosed):
+//		// the engine was shut down — do not retry here
 //	}
 //
 // A panic inside an operator kernel or worker goroutine is recovered and
@@ -43,11 +47,30 @@ var (
 	// ErrMemoryLimit reports a plan whose prepare-time memory estimate
 	// exceeds the configured WithMemoryEstimateLimit.
 	ErrMemoryLimit = qerr.ErrMemoryLimit
-	// ErrAdmissionRejected reports a query that never started: its context
-	// fired while it was waiting at the engine's admission gate. It is always
-	// tagged alongside ErrQueryCanceled or ErrQueryTimeout.
+	// ErrAdmissionRejected reports a query the engine shed before it started:
+	// the admission queue overflowed its WithAdmissionQueue depth, the
+	// query's context or the queue's maxWait fired while it was parked, or
+	// its memory reservation could not be granted in time under
+	// WithMemoryBudget. The query did no work, so the rejection is retryable
+	// (IsRetryable reports true) and is never classified as ErrQueryCanceled
+	// or ErrQueryTimeout — those are reserved for mid-flight stops.
 	ErrAdmissionRejected = qerr.ErrAdmissionRejected
+	// ErrEngineClosed reports a call against an engine shut down with
+	// Engine.Close: an Execute or operator call after Close, a query shed
+	// from the admission queue by Close, or an in-flight execution cancelled
+	// when Close abandoned its graceful drain. Never retryable.
+	ErrEngineClosed = qerr.ErrEngineClosed
+	// ErrTransient marks a failure as transient (safe to retry); the fault
+	// injection used by the robustness tests tags injected failures with it.
+	ErrTransient = qerr.ErrTransient
 )
+
+// IsRetryable reports whether err is safe to retry from scratch: the engine
+// guarantees the failed call did no observable work. Admission sheds
+// (ErrAdmissionRejected) and transient failures (ErrTransient) are
+// retryable; corrupt data, a closed engine, and mid-flight cancellations or
+// timeouts are not. WithRetry uses the same classification.
+func IsRetryable(err error) bool { return qerr.IsRetryable(err) }
 
 // QueryError is a panic recovered inside a query execution, converted into
 // an error so one failing operator cannot take down the process or its

@@ -13,6 +13,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"morphstore"
 )
@@ -84,6 +85,44 @@ func TestArchitectureGroupingSnippet(t *testing.T) {
 			t.Fatalf("group %d: key %d sum %d, want key %d sum %d",
 				i, gotKeys[i], gotSums[i], wantKeys[i], wantSums[i])
 		}
+	}
+}
+
+// TestArchitectureRetrySnippet compiles and runs the WithRetry example from
+// the "Overload protection & lifecycle" section of docs/ARCHITECTURE.md.
+func TestArchitectureRetrySnippet(t *testing.T) {
+	ctx := context.Background()
+	vals := []uint64{3, 1, 4, 1, 5, 9, 2, 6}
+	db := morphstore.NewDB()
+	db.AddTable("t", map[string][]uint64{"x": vals})
+	b := morphstore.NewPlanBuilder()
+	x := b.Scan("t", "x")
+	match := b.Select("match", x, morphstore.CmpGt, 3)
+	b.Result(b.SumWhole("total", b.Project("matched", x, match)))
+	plan, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := morphstore.NewEngine(db, morphstore.WithParallelism(2))
+
+	// doc-snippet:architecture-retry docs/ARCHITECTURE.md
+	q, _ := eng.Prepare(plan, morphstore.WithCostBasedFormats())
+	res, err := q.Execute(ctx, morphstore.WithRetry(morphstore.RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    100 * time.Millisecond,
+		Jitter:      0.5, // add up to 50% of the delay, avoiding retry herds
+	}))
+	// end-doc-snippet
+
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Cols["total"] == nil {
+		t.Fatal("retried execution produced no result column")
+	}
+	if err := eng.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
 	}
 }
 

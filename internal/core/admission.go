@@ -1,0 +1,315 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"morphstore/internal/faultpoint"
+	"morphstore/internal/qerr"
+)
+
+// This file implements the engine's admission layer: a bounded, deadline-
+// aware FIFO in front of the executor that replaces the old unbounded
+// channel gate. Under overload the queue sheds — overflow beyond the
+// configured depth and waiters whose deadline fires are rejected with a
+// typed qerr.ErrAdmissionRejected instead of piling up without bound — and
+// the same structure tracks every in-flight query and one-off operator call
+// so Engine.Close can stop admission, drain the engine, and fail later
+// calls fast with qerr.ErrEngineClosed.
+//
+// Classification contract (the PR 6 ambiguity fix): a context that expires
+// while a query is parked in the admission queue — cancelled or timed out,
+// in either order relative to the park — always surfaces as
+// ErrAdmissionRejected and never as ErrQueryCanceled/ErrQueryTimeout. The
+// query did no work; rejection is retryable, mid-flight cancellation is not.
+// The underlying context sentinel stays in the wrap chain for callers that
+// care which flavour of expiry it was.
+
+// admWaiter is one parked query. The granter sends nil on ready (buffered,
+// so grants never block under the admission mutex); sheds send the typed
+// rejection.
+type admWaiter struct {
+	ready chan error
+}
+
+// admission is the engine's admission state: the concurrency slots, the
+// bounded FIFO of parked queries, the in-flight tracking Close drains, and
+// the overload counters behind Engine.Stats. All fields are guarded by mu;
+// cond signals in-flight departures to the drain wait.
+type admission struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	slots    int           // max concurrently admitted queries; 0 = unlimited
+	depth    int           // max parked queries; 0 = unbounded queue
+	maxWait  time.Duration // park deadline; 0 = bounded only by the query ctx
+	running  int           // queries currently holding a slot
+	inflight int           // running queries + one-off operator calls
+	queue    []*admWaiter  // parked queries, FIFO
+	closed   bool
+	// lifetime counters (snapshot via counters)
+	waits        int64
+	waitNS       int64
+	shedOverflow int64
+	shedExpired  int64
+	shedClosed   int64
+}
+
+// newAdmission returns the admission state for an engine: slots concurrent
+// queries (0 = unlimited), a parked-query bound of depth (0 = unbounded),
+// and a park deadline of maxWait (0 = none).
+func newAdmission(slots, depth int, maxWait time.Duration) *admission {
+	a := &admission{slots: slots, depth: depth, maxWait: maxWait}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// errClosed returns the typed failure of a call against a closed engine.
+func errClosed(what string) error {
+	return qerr.Tag(fmt.Errorf("core: %s: engine closed", what), qerr.ErrEngineClosed)
+}
+
+// enter registers a one-off operator call for the Close drain (no slot
+// accounting — only Prepared.Execute competes for admission slots). It fails
+// fast on a closed engine; the returned exit must be deferred.
+func (a *admission) enter() (exit func(), err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil, errClosed("operator call")
+	}
+	a.inflight++
+	return a.leave, nil
+}
+
+// leave retires one in-flight registration and wakes the drain wait.
+func (a *admission) leave() {
+	a.mu.Lock()
+	a.inflight--
+	a.cond.Broadcast()
+	a.mu.Unlock()
+}
+
+// admit gates one query execution. It returns a release to defer, the time
+// spent parked in the queue (0 on the fast path), and the typed admission
+// error: ErrEngineClosed on a closed engine, ErrAdmissionRejected when the
+// queue overflowed or the wait expired (the query's ctx fired or maxWait
+// elapsed) — never ErrQueryCanceled/ErrQueryTimeout, per the classification
+// contract above.
+func (a *admission) admit(ctx context.Context) (release func(), wait time.Duration, err error) {
+	a.mu.Lock()
+	if a.closed {
+		a.shedClosed++
+		a.mu.Unlock()
+		return nil, 0, errClosed("execute")
+	}
+	if a.slots <= 0 {
+		// Unlimited concurrency: admission only tracks the in-flight count
+		// for the Close drain.
+		a.inflight++
+		a.mu.Unlock()
+		return a.leave, 0, nil
+	}
+	// A context that expired before admission is a deterministic rejection:
+	// the old select-based gate raced an expired ctx against a free slot and
+	// could classify the same call either way.
+	if ctx != nil && ctx.Err() != nil {
+		a.shedExpired++
+		a.mu.Unlock()
+		return nil, 0, qerr.Tag(
+			fmt.Errorf("core: admission: context expired before admission: %w", ctx.Err()),
+			qerr.ErrAdmissionRejected)
+	}
+	if a.running < a.slots && len(a.queue) == 0 {
+		a.running++
+		a.inflight++
+		a.mu.Unlock()
+		return a.releaseSlot, 0, nil
+	}
+	if a.depth > 0 && len(a.queue) >= a.depth {
+		a.shedOverflow++
+		a.mu.Unlock()
+		return nil, 0, qerr.Tag(
+			fmt.Errorf("core: admission: queue full (%d queries waiting, %d running)", a.depth, a.slots),
+			qerr.ErrAdmissionRejected)
+	}
+	// The fault point sits just before the park so the chaos suite can fail
+	// the enqueue path; its guard converts an injected panic into a typed
+	// error (the site runs outside every morsel recover boundary).
+	if err := hitGuarded(faultpoint.AdmissionEnqueue); err != nil {
+		a.mu.Unlock()
+		return nil, 0, qerr.Tag(err, qerr.ErrAdmissionRejected)
+	}
+	w := &admWaiter{ready: make(chan error, 1)}
+	a.queue = append(a.queue, w)
+	a.waits++
+	a.mu.Unlock()
+
+	start := time.Now()
+	var timeout <-chan time.Time
+	if a.maxWait > 0 {
+		timer := time.NewTimer(a.maxWait)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	expired := func(cause error) (func(), time.Duration, error) {
+		wait := time.Since(start)
+		a.recordWait(wait)
+		if a.abandon(w) {
+			return nil, wait, qerr.Tag(
+				fmt.Errorf("core: admission: wait expired after %v: %w", wait.Round(time.Microsecond), cause),
+				qerr.ErrAdmissionRejected)
+		}
+		// The grant raced the expiry and won: the slot is ours, give it back
+		// before rejecting so it flows to the next waiter.
+		if shed := <-w.ready; shed == nil {
+			a.releaseSlot()
+		}
+		return nil, wait, qerr.Tag(
+			fmt.Errorf("core: admission: wait expired after %v: %w", wait.Round(time.Microsecond), cause),
+			qerr.ErrAdmissionRejected)
+	}
+	select {
+	case shed := <-w.ready:
+		wait := time.Since(start)
+		a.recordWait(wait)
+		if shed != nil {
+			return nil, wait, shed
+		}
+		return a.releaseSlot, wait, nil
+	case <-done:
+		return expired(ctx.Err())
+	case <-timeout:
+		return expired(fmt.Errorf("admission queue wait limit %v exceeded", a.maxWait))
+	}
+}
+
+// hitGuarded runs a fault point's handler under a recover guard: the
+// admission and close paths sit outside every morsel recover boundary, so an
+// injected panic is converted into a typed *qerr.QueryError here instead of
+// escaping through Execute or Close.
+func hitGuarded(p *faultpoint.Point) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = qerr.Recovered(v, -1)
+		}
+	}()
+	return p.Hit()
+}
+
+// recordWait books one finished queue wait into the counters.
+func (a *admission) recordWait(d time.Duration) {
+	a.mu.Lock()
+	a.waitNS += d.Nanoseconds()
+	a.mu.Unlock()
+}
+
+// abandon removes w from the queue if it is still parked, counting the shed;
+// it reports false when w was already granted (or shed by close).
+func (a *admission) abandon(w *admWaiter) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, x := range a.queue {
+		if x == w {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			a.shedExpired++
+			return true
+		}
+	}
+	return false
+}
+
+// releaseSlot retires an admitted query: the slot moves to the queue head
+// (FIFO) when one is parked, and the drain wait wakes.
+func (a *admission) releaseSlot() {
+	a.mu.Lock()
+	a.running--
+	a.inflight--
+	for a.running < a.slots && len(a.queue) > 0 {
+		w := a.queue[0]
+		a.queue = a.queue[1:]
+		a.running++
+		a.inflight++
+		w.ready <- nil
+	}
+	a.cond.Broadcast()
+	a.mu.Unlock()
+}
+
+// close stops admission: later enter/admit calls fail fast, and every parked
+// query is shed with ErrEngineClosed. In-flight work is untouched — Close
+// drains it separately.
+func (a *admission) close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return
+	}
+	a.closed = true
+	for _, w := range a.queue {
+		a.shedClosed++
+		w.ready <- errClosed("queued execute")
+	}
+	a.queue = nil
+	a.cond.Broadcast()
+}
+
+// drain blocks until no query or operator call is in flight; it reports
+// false when ctx fired first. Callers stop admission beforehand, so the
+// in-flight count is monotonically non-increasing.
+func (a *admission) drain(ctx context.Context) bool {
+	var stop func() bool
+	if ctx != nil {
+		stop = context.AfterFunc(ctx, func() {
+			a.mu.Lock()
+			a.cond.Broadcast()
+			a.mu.Unlock()
+		})
+		defer stop()
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for a.inflight > 0 {
+		if ctx != nil && ctx.Err() != nil {
+			return false
+		}
+		a.cond.Wait()
+	}
+	return true
+}
+
+// admCounters is a snapshot of the admission layer's state and lifetime
+// counters, folded into Engine.Stats.
+type admCounters struct {
+	queued       int // queries currently parked
+	running      int // queries currently admitted
+	inflight     int // queries + one-off calls currently in flight
+	waits        int64
+	waitNS       int64
+	shedOverflow int64
+	shedExpired  int64
+	shedClosed   int64
+	closed       bool
+}
+
+// counters snapshots the admission state.
+func (a *admission) counters() admCounters {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return admCounters{
+		queued:       len(a.queue),
+		running:      a.running,
+		inflight:     a.inflight,
+		waits:        a.waits,
+		waitNS:       a.waitNS,
+		shedOverflow: a.shedOverflow,
+		shedExpired:  a.shedExpired,
+		shedClosed:   a.shedClosed,
+		closed:       a.closed,
+	}
+}

@@ -32,6 +32,9 @@ func chaosTyped(err error) bool {
 	return errors.Is(err, qerr.ErrCorruptData) ||
 		errors.Is(err, qerr.ErrQueryTimeout) ||
 		errors.Is(err, qerr.ErrQueryCanceled) ||
+		errors.Is(err, qerr.ErrAdmissionRejected) ||
+		errors.Is(err, qerr.ErrEngineClosed) ||
+		errors.Is(err, qerr.ErrMemoryLimit) ||
 		errors.As(err, &qe)
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"morphstore/internal/columns"
+	"morphstore/internal/faultpoint"
 	"morphstore/internal/formats"
 	"morphstore/internal/metrics"
 	"morphstore/internal/ops"
@@ -57,9 +58,13 @@ type options struct {
 	keep        bool
 	par         int           // 0 = engine budget / GOMAXPROCS
 	maxQueries  int           // 0 = unlimited
+	admitDepth  int           // admission queue bound; 0 = unbounded
+	admitWait   time.Duration // admission queue wait bound; 0 = none
 	timeout     time.Duration // 0 = no per-execution deadline
 	memLimit    int           // 0 = no prepare-time memory-estimate limit
+	memBudget   int64         // engine-wide runtime memory budget; 0 = none
 	memDegrade  bool          // over-limit plans degrade to par=1 instead of failing
+	retry       RetryPolicy   // zero value = no retries
 	// Format resolution (Prepare): explicit per-column formats, a uniform
 	// format for every intermediate, or cost-based selection. Explicit
 	// entries take precedence over uniform/cost-based choices.
@@ -145,11 +150,43 @@ func WithParallelism(n int) Option {
 }
 
 // WithMaxConcurrentQueries bounds how many Execute calls run at once; the
-// surplus waits (honouring ctx) at the engine's admission gate. 0 means
-// unlimited. Applies to NewEngine.
+// surplus parks in the engine's admission queue (honouring ctx and the
+// WithAdmissionQueue bounds) and is admitted FIFO. 0 means unlimited.
+// Applies to NewEngine.
 func WithMaxConcurrentQueries(n int) Option {
 	return Option{name: "WithMaxConcurrentQueries", scope: scopeEngine,
 		apply: func(o *options) { o.maxQueries = n }}
+}
+
+// WithAdmissionQueue bounds the engine's admission queue (the FIFO of
+// Execute calls waiting behind WithMaxConcurrentQueries): at most depth
+// queries park at once, and no query parks longer than maxWait. A query
+// arriving at a full queue, or parked past maxWait or its own context's
+// expiry, is shed with an error matching ErrAdmissionRejected — it never
+// started, so the rejection is retryable (IsRetryable) and is never
+// classified as ErrQueryCanceled or ErrQueryTimeout. depth 0 means an
+// unbounded queue, maxWait 0 no wait bound; the option has no effect
+// without WithMaxConcurrentQueries. Applies to NewEngine.
+func WithAdmissionQueue(depth int, maxWait time.Duration) Option {
+	return Option{name: "WithAdmissionQueue", scope: scopeEngine,
+		apply: func(o *options) { o.admitDepth, o.admitWait = depth, maxWait }}
+}
+
+// WithMemoryBudget gives the engine a runtime memory governor: an
+// engine-wide budget, in bytes, for the intermediate columns of all
+// concurrently executing queries. Each execution reserves its plan's
+// conservative estimate (Prepared.MemoryEstimate) at admission and returns
+// it when it finishes; a query that does not fit waits for running queries
+// to release, sheds with ErrAdmissionRejected when its wait expires (the
+// query's ctx or the WithAdmissionQueue maxWait), and fails with
+// ErrMemoryLimit when its estimate exceeds the whole budget — unless
+// WithMemoryLimitDegrade is set, in which case it degrades to sequential
+// execution under a clamped reservation instead. The bytes actually
+// materialized are charged at the allocation sites and reported as
+// QueryStats.MemPeak. 0 means no governor. Applies to NewEngine.
+func WithMemoryBudget(bytes int64) Option {
+	return Option{name: "WithMemoryBudget", scope: scopeEngine,
+		apply: func(o *options) { o.memBudget = bytes }}
 }
 
 // WithQueryTimeout bounds one execution's wall-clock time: Execute derives a
@@ -286,13 +323,17 @@ func (o *options) outputDesc(i int) columns.FormatDesc {
 
 // Engine owns a database, an engine-wide worker budget shared
 // deterministically by every concurrently executing query and one-off
-// operator call, and an optional admission gate. It is safe for concurrent
-// use; all its state is fixed at construction except the observability
-// counters behind Stats, which are atomic.
+// operator call, a bounded admission queue, and an optional runtime memory
+// governor. It is safe for concurrent use; all its state is fixed at
+// construction except the observability counters behind Stats (atomic) and
+// the admission/governor state (internally locked).
 type Engine struct {
 	db       *DB
 	budget   *ops.Budget
-	admit    chan struct{}
+	adm      *admission
+	gov      *ops.MemGovernor
+	killCtx  context.Context    // done when Close gave up on graceful drain
+	kill     context.CancelFunc // fires killCtx, cancelling in-flight work
 	defs     options
 	err      error
 	counters engineCounters
@@ -300,8 +341,9 @@ type Engine struct {
 
 // NewEngine returns an engine over db. Options set engine-wide defaults
 // (WithStyle, WithSpecialized, WithAutoMorph), the worker budget
-// (WithParallelism: 0 = GOMAXPROCS), and the admission gate
-// (WithMaxConcurrentQueries). A misplaced option is reported by the first
+// (WithParallelism: 0 = GOMAXPROCS), the admission layer
+// (WithMaxConcurrentQueries, WithAdmissionQueue), and the runtime memory
+// governor (WithMemoryBudget). A misplaced option is reported by the first
 // Prepare/operator call.
 func NewEngine(db *DB, o ...Option) *Engine {
 	if db == nil {
@@ -310,13 +352,41 @@ func NewEngine(db *DB, o ...Option) *Engine {
 	defs, err := options{style: vector.Scalar}.merged(scopeEngine, o)
 	e := &Engine{db: db, budget: ops.NewBudget(defs.par), defs: defs, err: err}
 	e.budget.SetTelemetry(e.counters.budget)
-	if defs.maxQueries > 0 {
-		e.admit = make(chan struct{}, defs.maxQueries)
-	}
+	e.adm = newAdmission(defs.maxQueries, defs.admitDepth, defs.admitWait)
+	e.gov = ops.NewMemGovernor(defs.memBudget)
+	e.killCtx, e.kill = context.WithCancel(context.Background())
 	// Query/operator layers interpret par as their own cap; the engine-level
 	// value has been consumed by the budget.
 	e.defs.par = 0
 	return e
+}
+
+// Close shuts the engine down gracefully: admission stops first — queued
+// queries are shed and later Execute and operator calls fail fast with an
+// error matching ErrEngineClosed — then Close waits for every in-flight
+// query and one-off operator call to drain. If ctx expires before the drain
+// completes, the stragglers are cancelled (they stop within one morsel and
+// return errors matching ErrEngineClosed), the drain finishes, and Close
+// returns the context's error; a nil ctx or one without a deadline waits
+// indefinitely for the graceful drain. Close is idempotent and safe to call
+// concurrently with executions; after it returns, the engine holds no worker
+// leases and no memory reservations.
+func (e *Engine) Close(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.adm.close()
+	if err := hitGuarded(faultpoint.CloseDrain); err != nil {
+		// An injected drain fault leaves the engine closed but possibly
+		// undrained; Close remains callable to finish the drain.
+		return qerr.Tag(err, qerr.ErrEngineClosed)
+	}
+	if e.adm.drain(ctx) {
+		return nil
+	}
+	e.kill()
+	e.adm.drain(context.Background())
+	return ctx.Err()
 }
 
 // DB returns the engine's database.
@@ -440,6 +510,13 @@ func (pr *Prepared) Formats() map[string]columns.FormatDesc {
 // DAG scheduler stops dispatching operators and running morsel loops stop
 // within one morsel, returning an error matching ErrQueryCanceled (or
 // ErrQueryTimeout when a deadline — including WithQueryTimeout — fired).
+// Before it starts, the execution passes the engine's admission layer: the
+// concurrency gate and queue (WithMaxConcurrentQueries, WithAdmissionQueue)
+// and the memory governor (WithMemoryBudget). A query shed there — queue
+// overflow, wait expiry, or memory pressure — returns an error matching
+// ErrAdmissionRejected and never one of the mid-flight context sentinels:
+// it did no work and is safe to retry (see IsRetryable and WithRetry).
+// After Engine.Close, Execute fails fast with ErrEngineClosed.
 // Concurrent Execute calls from any number of goroutines share the engine's
 // worker budget deterministically and produce columns byte-identical to a
 // sequential run. A failing execution — cancelled, corrupt data, or a
@@ -447,51 +524,111 @@ func (pr *Prepared) Formats() map[string]columns.FormatDesc {
 // prepared plan and concurrent queries stay fully usable, and re-executing
 // the same Prepared afterwards yields the same columns a fresh execution
 // would. Execute options: WithParallelism (this query's cap), WithKeep,
-// WithQueryTimeout, WithExecStats, WithTracer.
+// WithQueryTimeout, WithRetry, WithExecStats, WithTracer.
 func (pr *Prepared) Execute(ctx context.Context, o ...Option) (*Result, error) {
-	res, err := pr.execute(ctx, o)
-	pr.e.counters.query(err)
-	return res, err
-}
-
-// execute is Execute without the engine-counter bookkeeping.
-func (pr *Prepared) execute(ctx context.Context, o []Option) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	opt, err := pr.opt.merged(scopeExec, o)
 	if err != nil {
+		pr.e.counters.query(err)
 		return nil, err
 	}
+	attempts := opt.retry.attempts()
+	for attempt := 1; ; attempt++ {
+		res, err := pr.execute(ctx, &opt)
+		pr.e.counters.query(err)
+		if err == nil || attempt >= attempts || !qerr.IsRetryable(err) || ctx.Err() != nil {
+			return res, err
+		}
+		pr.e.counters.retried.Add(1)
+		if !sleepCtx(ctx, opt.retry.backoff(attempt)) {
+			return nil, qerr.Classify(fmt.Errorf("core: retry backoff interrupted: %w", ctx.Err()))
+		}
+	}
+}
+
+// execute runs one admission + execution attempt of the prepared plan.
+func (pr *Prepared) execute(ctx context.Context, opt *options) (*Result, error) {
 	if opt.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opt.timeout)
 		defer cancel()
 	}
 	e := pr.e
-	if e.admit != nil {
-		select {
-		case e.admit <- struct{}{}:
-			defer func() { <-e.admit }()
-		case <-ctx.Done():
-			// The query never started: tag the context error so callers can
-			// tell an admission rejection from a mid-flight cancellation.
-			return nil, qerr.Tag(qerr.Classify(ctx.Err()), qerr.ErrAdmissionRejected)
-		}
+	// An engine Close that gave up on graceful draining cancels the
+	// execution through this derived context.
+	ctx, cancelExec := context.WithCancel(ctx)
+	defer cancelExec()
+	stopKill := context.AfterFunc(e.killCtx, cancelExec)
+	defer stopKill()
+
+	// The query id is reserved before admission so shed/wait events trace
+	// under the same number as the execution's spans.
+	obs := execObs{}
+	if opt.stats != nil || opt.tracer != nil {
+		obs.query = metrics.ReserveQueryID()
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, qerr.Classify(err)
+
+	release, wait, err := e.adm.admit(ctx)
+	if err != nil {
+		obs.shed(opt, wait)
+		return nil, err
 	}
+	defer release()
+	obs.admissionWait = wait
+
 	par := opt.par
 	if par <= 0 {
 		par = e.budget.Total()
 	}
-	if pr.degraded {
+	degraded := pr.degraded
+
+	// Reserve the plan's byte estimate from the memory governor. With no
+	// governor this yields a tracking-only reservation: charges still
+	// accumulate so QueryStats.MemPeak is reported either way.
+	est := int64(pr.estimate)
+	if total := e.gov.Total(); total > 0 && est > total {
+		if !opt.memDegrade {
+			e.counters.memShed.Add(1)
+			return nil, qerr.Tag(
+				fmt.Errorf("core: plan memory estimate %d bytes exceeds engine budget %d", est, total),
+				qerr.ErrMemoryLimit)
+		}
+		// Sequential operator-at-a-time execution has the smallest transient
+		// footprint; run degraded under a reservation clamped to the budget.
+		degraded = true
+		est = total
+	}
+	mctx, mcancel := ctx, context.CancelFunc(nil)
+	if e.adm.maxWait > 0 {
+		mctx, mcancel = context.WithTimeout(ctx, e.adm.maxWait)
+	}
+	var memWaitNS int64
+	mres, err := e.gov.Reserve(mctx, est, &memWaitNS)
+	if mcancel != nil {
+		mcancel()
+	}
+	if err != nil {
+		obs.shed(opt, wait+time.Duration(memWaitNS))
+		return nil, err
+	}
+	defer mres.Release()
+	obs.admissionWait += time.Duration(memWaitNS)
+	obs.memEstimate = mres.Reserved()
+	obs.memDegraded = degraded && !pr.degraded
+	obs.admitted(opt, e.gov)
+
+	if err := ctx.Err(); err != nil {
+		return nil, qerr.Classify(err)
+	}
+	if degraded {
 		par = 1
 	}
 	es := &execState{
 		outs: make([][]*columns.Column, len(pr.p.nodes)),
-		coll: pr.newCollector(&opt),
+		coll: pr.newCollector(opt, obs.query),
+		mres: mres,
 	}
 	res := &Result{
 		Cols: make(map[string]*columns.Column, len(pr.p.sinks)),
@@ -509,11 +646,33 @@ func (pr *Prepared) execute(ctx context.Context, o []Option) (*Result, error) {
 		err = pr.runConcurrent(ctx, es, res, opt.keep, par)
 	}
 	err = qerr.Classify(err)
-	finishCollector(es.coll, &opt, err)
+	if err != nil && e.killCtx.Err() != nil && errors.Is(err, qerr.ErrQueryCanceled) {
+		// The cancellation came from Engine.Close giving up on the graceful
+		// drain, not from the caller's context.
+		err = qerr.Tag(err, qerr.ErrEngineClosed)
+	}
+	obs.memPeak = mres.Charged()
+	finishCollector(es.coll, opt, err, &obs)
 	if err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// sleepCtx sleeps d (no-op when d <= 0) unless ctx fires first; it reports
+// whether the full sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // nodeRuntime leases the node's worker share from the engine budget; the
@@ -563,13 +722,20 @@ func (pr *Prepared) runNode(ctx context.Context, es *execState, bn *boundNode, p
 		}
 	}()
 	if bn.n.op == OpScan {
+		// Scans hand out stored columns — no intermediate bytes to charge.
 		return bn.run(es, ops.RT(ctx, nil, 1).WithCollector(nc))
 	}
 	rt, release := pr.e.nodeRuntime(ctx, par, nc)
 	defer release()
-	produced, err = bn.run(es, rt)
+	produced, err = bn.run(es, rt.WithMemReservation(es.mres))
 	if err != nil {
 		return nil, fmt.Errorf("core: %v %q: %w", bn.n.op, bn.n.outNames[0], err)
+	}
+	// Charge the materialized intermediates against the query's memory
+	// reservation; the transient section buffers inside the parallel stitch
+	// charge themselves through the runtime.
+	for _, col := range produced {
+		es.mres.Charge(col.PhysicalBytes())
 	}
 	return produced, nil
 }

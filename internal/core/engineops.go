@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 
 	"morphstore/internal/bitutil"
 	"morphstore/internal/columns"
@@ -19,7 +20,11 @@ import (
 // opRuntime opens a budget lease for one ad-hoc operator call, sized by the
 // call's parallelism option (default: the whole engine budget). Every
 // operator — including the grouping and sorted-set calls, whose drivers are
-// parallel now — leases its full share; there are no cap-1 leases left.
+// parallel now — leases its full share; there are no cap-1 leases left. The
+// call also registers with the engine's admission layer (not slot-bounded,
+// but visible to the Engine.Close drain): a closed engine fails the call
+// fast with ErrEngineClosed, and a Close that gave up on graceful draining
+// cancels it through the derived context.
 func (e *Engine) opRuntime(ctx context.Context, o []Option) (options, ops.Runtime, func(), error) {
 	if e.err != nil {
 		return options{}, ops.Runtime{}, nil, e.err
@@ -28,23 +33,37 @@ func (e *Engine) opRuntime(ctx context.Context, o []Option) (options, ops.Runtim
 	if err != nil {
 		return options{}, ops.Runtime{}, nil, err
 	}
+	exit, err := e.adm.enter()
+	if err != nil {
+		return options{}, ops.Runtime{}, nil, err
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	stopKill := context.AfterFunc(e.killCtx, cancel)
 	par := opt.par
 	if par <= 0 {
 		par = e.budget.Total()
 	}
 	lease := e.budget.Lease(par)
-	return opt, ops.RT(ctx, lease, par), lease.Close, nil
+	done := func() {
+		lease.Close()
+		stopKill()
+		cancel()
+		exit()
+	}
+	return opt, ops.RT(ctx, lease, par), done, nil
 }
 
 // opGuard is the deferred failure boundary of every one-off operator call:
 // it converts a panic — in the operator's own phase; the morsel workers carry
 // their own guards — into a *QueryError tagged with the operator name, and
 // classifies context errors onto the taxonomy, mirroring what a prepared
-// execution reports for the same failure.
-func opGuard(op string, errp *error) {
+// execution reports for the same failure. A cancellation caused by
+// Engine.Close abandoning its graceful drain is additionally tagged with
+// ErrEngineClosed.
+func (e *Engine) opGuard(op string, errp *error) {
 	if v := recover(); v != nil {
 		qe := qerr.Recovered(v, -1)
 		qe.Op = op
@@ -52,12 +71,15 @@ func opGuard(op string, errp *error) {
 		return
 	}
 	*errp = qerr.Classify(*errp)
+	if *errp != nil && e.killCtx.Err() != nil && errors.Is(*errp, qerr.ErrQueryCanceled) {
+		*errp = qerr.Tag(*errp, qerr.ErrEngineClosed)
+	}
 }
 
 // Select returns the sorted positions of elements matching `element op val`.
 // Options: WithOutput, WithStyle, WithSpecialized, WithParallelism.
 func (e *Engine) Select(ctx context.Context, in *columns.Column, op bitutil.CmpKind, val uint64, o ...Option) (out *columns.Column, err error) {
-	defer opGuard("select", &err)
+	defer e.opGuard("select", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
@@ -68,7 +90,7 @@ func (e *Engine) Select(ctx context.Context, in *columns.Column, op bitutil.CmpK
 
 // SelectBetween returns the sorted positions of elements in [lo, hi].
 func (e *Engine) SelectBetween(ctx context.Context, in *columns.Column, lo, hi uint64, o ...Option) (out *columns.Column, err error) {
-	defer opGuard("between", &err)
+	defer e.opGuard("between", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
@@ -80,7 +102,7 @@ func (e *Engine) SelectBetween(ctx context.Context, in *columns.Column, lo, hi u
 // Project gathers data values at the given positions; the data column must
 // support random access (uncompressed or static BP).
 func (e *Engine) Project(ctx context.Context, data, pos *columns.Column, o ...Option) (out *columns.Column, err error) {
-	defer opGuard("project", &err)
+	defer e.opGuard("project", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
@@ -91,7 +113,7 @@ func (e *Engine) Project(ctx context.Context, data, pos *columns.Column, o ...Op
 
 // Sum aggregates all elements of a column.
 func (e *Engine) Sum(ctx context.Context, in *columns.Column, o ...Option) (sum uint64, err error) {
-	defer opGuard("sum", &err)
+	defer e.opGuard("sum", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return 0, err
@@ -103,7 +125,7 @@ func (e *Engine) Sum(ctx context.Context, in *columns.Column, o ...Option) (sum 
 
 // SumGrouped sums vals per group id, for group ids in [0, nGroups).
 func (e *Engine) SumGrouped(ctx context.Context, gids, vals *columns.Column, nGroups int, o ...Option) (out *columns.Column, err error) {
-	defer opGuard("sum_grouped", &err)
+	defer e.opGuard("sum_grouped", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
@@ -114,7 +136,7 @@ func (e *Engine) SumGrouped(ctx context.Context, gids, vals *columns.Column, nGr
 
 // SemiJoin emits probe positions whose key occurs in build.
 func (e *Engine) SemiJoin(ctx context.Context, probe, build *columns.Column, o ...Option) (out *columns.Column, err error) {
-	defer opGuard("semijoin", &err)
+	defer e.opGuard("semijoin", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
@@ -127,7 +149,7 @@ func (e *Engine) SemiJoin(ctx context.Context, probe, build *columns.Column, o .
 // with unique values, returning the matching probe positions and, aligned
 // with them, the joined build positions (WithOutputs sets their formats).
 func (e *Engine) JoinN1(ctx context.Context, probe, build *columns.Column, o ...Option) (probePos, buildPos *columns.Column, err error) {
-	defer opGuard("join", &err)
+	defer e.opGuard("join", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, nil, err
@@ -138,7 +160,7 @@ func (e *Engine) JoinN1(ctx context.Context, probe, build *columns.Column, o ...
 
 // Calc combines two equal-length columns element-wise.
 func (e *Engine) Calc(ctx context.Context, op ops.CalcKind, a, b *columns.Column, o ...Option) (out *columns.Column, err error) {
-	defer opGuard("calc", &err)
+	defer e.opGuard("calc", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
@@ -150,7 +172,7 @@ func (e *Engine) Calc(ctx context.Context, op ops.CalcKind, a, b *columns.Column
 // Intersect intersects two sorted position lists, splitting both inputs at
 // shared value-range boundaries for parallel processing.
 func (e *Engine) Intersect(ctx context.Context, a, b *columns.Column, o ...Option) (out *columns.Column, err error) {
-	defer opGuard("intersect", &err)
+	defer e.opGuard("intersect", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
@@ -162,7 +184,7 @@ func (e *Engine) Intersect(ctx context.Context, a, b *columns.Column, o ...Optio
 // Union merges two sorted position lists without duplicates, splitting both
 // inputs at shared value-range boundaries for parallel processing.
 func (e *Engine) Union(ctx context.Context, a, b *columns.Column, o ...Option) (out *columns.Column, err error) {
-	defer opGuard("merge", &err)
+	defer e.opGuard("merge", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, err
@@ -175,7 +197,7 @@ func (e *Engine) Union(ctx context.Context, a, b *columns.Column, o ...Option) (
 // every element of keys, returning the per-row group ids and, per group, the
 // position of its first occurrence (WithOutputs sets their formats).
 func (e *Engine) GroupFirst(ctx context.Context, keys *columns.Column, o ...Option) (gids, extents *columns.Column, err error) {
-	defer opGuard("group", &err)
+	defer e.opGuard("group", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, nil, err
@@ -188,7 +210,7 @@ func (e *Engine) GroupFirst(ctx context.Context, keys *columns.Column, o ...Opti
 // fall into the same output group iff they had the same previous group id
 // and the same new key. Outputs follow the GroupFirst conventions.
 func (e *Engine) GroupNext(ctx context.Context, prevGids, keys *columns.Column, o ...Option) (gids, extents *columns.Column, err error) {
-	defer opGuard("group_next", &err)
+	defer e.opGuard("group_next", &err)
 	opt, rt, done, err := e.opRuntime(ctx, o)
 	if err != nil {
 		return nil, nil, err

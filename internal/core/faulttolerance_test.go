@@ -97,8 +97,12 @@ func TestEngineMemoryEstimateLimit(t *testing.T) {
 }
 
 // TestEngineAdmissionRejectedTyped: a query whose context fires while parked
-// at the admission gate must match both ErrAdmissionRejected and the
-// context sentinel that actually fired.
+// in the admission queue classifies as ErrAdmissionRejected — never as the
+// mid-flight sentinels ErrQueryTimeout/ErrQueryCanceled — for both expiry
+// flavours and in both orderings (context already expired before the admit
+// call, and expiring while parked). The raw context sentinel stays in the
+// wrap chain. This is the regression test for the old gate's classification
+// ambiguity (a select racing an expired ctx against a free slot).
 func TestEngineAdmissionRejectedTyped(t *testing.T) {
 	db := buildParTestDB(t)
 	plan := buildParTestPlan(t)
@@ -107,18 +111,57 @@ func TestEngineAdmissionRejectedTyped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.admit <- struct{}{} // occupy the gate deterministically
-	if _, err := pr.Execute(context.Background(), WithQueryTimeout(time.Millisecond)); !errors.Is(err, qerr.ErrAdmissionRejected) || !errors.Is(err, qerr.ErrQueryTimeout) {
-		t.Fatalf("rejected waiter: %v, want ErrAdmissionRejected+ErrQueryTimeout", err)
+	release, _, err := e.adm.admit(context.Background()) // occupy the slot deterministically
+	if err != nil {
+		t.Fatal(err)
 	}
+
+	// Deadline flavour, expiry while parked.
+	_, err = pr.Execute(context.Background(), WithQueryTimeout(time.Millisecond))
+	if !errors.Is(err, qerr.ErrAdmissionRejected) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out waiter: %v, want ErrAdmissionRejected wrapping DeadlineExceeded", err)
+	}
+	if errors.Is(err, qerr.ErrQueryTimeout) {
+		t.Fatalf("timed-out waiter classified mid-flight: %v", err)
+	}
+
+	// Cancel flavour, expiry while parked.
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() { time.Sleep(time.Millisecond); cancel() }()
-	if _, err := pr.Execute(ctx); !errors.Is(err, qerr.ErrAdmissionRejected) || !errors.Is(err, qerr.ErrQueryCanceled) {
-		t.Fatalf("cancelled waiter: %v, want ErrAdmissionRejected+ErrQueryCanceled", err)
+	_, err = pr.Execute(ctx)
+	if !errors.Is(err, qerr.ErrAdmissionRejected) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: %v, want ErrAdmissionRejected wrapping Canceled", err)
 	}
-	<-e.admit
+	if errors.Is(err, qerr.ErrQueryCanceled) {
+		t.Fatalf("cancelled waiter classified mid-flight: %v", err)
+	}
+
+	// Opposite ordering: the context is already expired when Execute is
+	// called (the racy case of the old gate). Both flavours must still
+	// reject, deterministically.
+	done, cancelDone := context.WithCancel(context.Background())
+	cancelDone()
+	if _, err := pr.Execute(done); !errors.Is(err, qerr.ErrAdmissionRejected) || errors.Is(err, qerr.ErrQueryCanceled) {
+		t.Fatalf("pre-cancelled execute: %v, want ErrAdmissionRejected without ErrQueryCanceled", err)
+	}
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := pr.Execute(dctx); !errors.Is(err, qerr.ErrAdmissionRejected) || errors.Is(err, qerr.ErrQueryTimeout) {
+		t.Fatalf("pre-expired execute: %v, want ErrAdmissionRejected without ErrQueryTimeout", err)
+	}
+
+	// All four sheds are retryable: the queries never started.
+	if !qerr.IsRetryable(err) {
+		t.Fatalf("admission rejection not retryable: %v", err)
+	}
+
+	release()
 	if _, err := pr.Execute(context.Background()); err != nil {
-		t.Fatalf("execution after gate drained: %v", err)
+		t.Fatalf("execution after slot released: %v", err)
+	}
+	st := e.Stats()
+	if st.AdmissionShedExpired != 4 || st.QueriesRejected != 4 {
+		t.Fatalf("shed accounting: expired=%d rejected=%d, want 4/4", st.AdmissionShedExpired, st.QueriesRejected)
 	}
 }
 

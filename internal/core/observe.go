@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"sync/atomic"
+	"time"
 
 	"morphstore/internal/columns"
 	"morphstore/internal/metrics"
@@ -43,11 +44,14 @@ type engineCounters struct {
 	started       atomic.Int64
 	succeeded     atomic.Int64
 	rejected      atomic.Int64
+	closed        atomic.Int64
 	canceled      atomic.Int64
 	timedOut      atomic.Int64
 	corrupt       atomic.Int64
 	panicked      atomic.Int64
 	failedOther   atomic.Int64
+	retried       atomic.Int64
+	memShed       atomic.Int64
 	leaseGrants   atomic.Int64
 	leaseShrinks  atomic.Int64
 	leaseReleases atomic.Int64
@@ -61,6 +65,8 @@ func (c *engineCounters) query(err error) {
 	switch {
 	case err == nil:
 		c.succeeded.Add(1)
+	case errors.Is(err, qerr.ErrEngineClosed):
+		c.closed.Add(1)
 	case errors.Is(err, qerr.ErrAdmissionRejected):
 		c.rejected.Add(1)
 	case errors.Is(err, qerr.ErrQueryTimeout):
@@ -89,23 +95,30 @@ func (c *engineCounters) budget(ev ops.BudgetEvent) {
 	}
 }
 
-// EngineStats is a point-in-time snapshot of an engine's lifetime counters
-// and current budget utilization, returned by Engine.Stats. The outcome
-// counters partition QueriesStarted: each finished Execute call lands in
-// exactly one of them (classification order: rejected, timeout, canceled,
-// corrupt, panic, other), so Succeeded + the failure counters equals
-// Started minus the executions still in flight.
+// EngineStats is a point-in-time snapshot of an engine's lifetime counters,
+// current budget utilization, and overload-protection state, returned by
+// Engine.Stats. The outcome counters partition QueriesStarted: each finished
+// Execute attempt lands in exactly one of them (classification order:
+// closed, rejected, timeout, canceled, corrupt, panic, other), so Succeeded
+// + the failure counters equals Started minus the executions still in
+// flight. With WithRetry, every attempt counts.
 type EngineStats struct {
-	// QueriesStarted counts Execute calls that entered the engine.
+	// QueriesStarted counts Execute attempts that entered the engine.
 	QueriesStarted int64
 	// QueriesSucceeded counts executions that returned a result.
 	QueriesSucceeded int64
-	// QueriesRejected counts executions that never started because the
-	// admission gate did not open before their context fired.
+	// QueriesRejected counts executions shed by the admission layer —
+	// queue overflow, wait expiry, or memory pressure — before they
+	// started.
 	QueriesRejected int64
-	// QueriesCanceled counts executions stopped by context cancellation.
+	// QueriesClosed counts executions failed because the engine closed:
+	// fast-failed after Close, shed from the queue by Close, or cancelled
+	// when Close gave up on the graceful drain.
+	QueriesClosed int64
+	// QueriesCanceled counts executions stopped mid-flight by context
+	// cancellation.
 	QueriesCanceled int64
-	// QueriesTimedOut counts executions stopped by a deadline.
+	// QueriesTimedOut counts executions stopped mid-flight by a deadline.
 	QueriesTimedOut int64
 	// QueriesCorrupt counts executions failed on corrupt compressed data.
 	QueriesCorrupt int64
@@ -115,6 +128,46 @@ type EngineStats struct {
 	// QueriesFailedOther counts the remaining failures (e.g. misplaced
 	// options).
 	QueriesFailedOther int64
+	// QueriesRetried counts the WithRetry re-attempts (each also counts in
+	// QueriesStarted and an outcome counter).
+	QueriesRetried int64
+	// AdmissionQueued is the number of queries currently parked in the
+	// admission queue.
+	AdmissionQueued int
+	// AdmissionWaits counts queries that parked in the admission queue
+	// (engine-lifetime).
+	AdmissionWaits int64
+	// AdmissionWaitTotal is the summed queue wait time of all finished
+	// parks (admitted and shed alike).
+	AdmissionWaitTotal time.Duration
+	// AdmissionShedOverflow counts queries shed on arrival because the
+	// queue was at its WithAdmissionQueue depth.
+	AdmissionShedOverflow int64
+	// AdmissionShedExpired counts parked queries shed because their
+	// context or the WithAdmissionQueue maxWait fired first.
+	AdmissionShedExpired int64
+	// AdmissionShedClosed counts queries shed because the engine closed
+	// (fast-fails and queue sheds by Close).
+	AdmissionShedClosed int64
+	// EngineClosed reports that Close stopped admission.
+	EngineClosed bool
+	// MemBudget is the WithMemoryBudget governor size (0 = no governor).
+	MemBudget int64
+	// MemReserved is the governor bytes currently reserved by running
+	// queries.
+	MemReserved int64
+	// MemPeakReserved is the high-water mark of MemReserved.
+	MemPeakReserved int64
+	// MemWaits counts queries that waited at the governor for running
+	// queries to release memory.
+	MemWaits int64
+	// MemWaitTotal is the summed governor wait time.
+	MemWaitTotal time.Duration
+	// MemSheds counts queries shed because their governor wait expired.
+	MemSheds int64
+	// MemOverBudget counts executions rejected (ErrMemoryLimit) because
+	// their estimate exceeded the whole budget and degradation was off.
+	MemOverBudget int64
 	// BudgetTotal is the engine's worker allowance.
 	BudgetTotal int
 	// BudgetLeases is the number of operators currently holding a lease.
@@ -131,39 +184,102 @@ type EngineStats struct {
 	LeaseReleases int64
 }
 
-// Stats returns a snapshot of the engine's lifetime query counters and
-// current budget utilization. Counters cover Prepared.Execute calls (the
-// deprecated one-off operator methods lease budget — visible in the lease
-// counters — but are not counted as queries). Safe for concurrent use; the
-// fields are read individually, so a snapshot taken while queries run is
-// approximate across fields but each field is exact.
+// Stats returns a snapshot of the engine's lifetime query counters, current
+// budget utilization, and admission/governor state. Counters cover
+// Prepared.Execute calls (the deprecated one-off operator methods lease
+// budget — visible in the lease counters — but are not counted as queries).
+// Safe for concurrent use; the counter groups are snapshotted individually,
+// so a snapshot taken while queries run is approximate across groups but
+// each field is exact.
 func (e *Engine) Stats() EngineStats {
+	adm := e.adm.counters()
+	mem := e.gov.Counters()
 	return EngineStats{
-		QueriesStarted:     e.counters.started.Load(),
-		QueriesSucceeded:   e.counters.succeeded.Load(),
-		QueriesRejected:    e.counters.rejected.Load(),
-		QueriesCanceled:    e.counters.canceled.Load(),
-		QueriesTimedOut:    e.counters.timedOut.Load(),
-		QueriesCorrupt:     e.counters.corrupt.Load(),
-		QueriesPanicked:    e.counters.panicked.Load(),
-		QueriesFailedOther: e.counters.failedOther.Load(),
-		BudgetTotal:        e.budget.Total(),
-		BudgetLeases:       e.budget.Leases(),
-		BudgetInUse:        e.budget.InUse(),
-		LeaseGrants:        e.counters.leaseGrants.Load(),
-		LeaseShrinks:       e.counters.leaseShrinks.Load(),
-		LeaseReleases:      e.counters.leaseReleases.Load(),
+		QueriesStarted:        e.counters.started.Load(),
+		QueriesSucceeded:      e.counters.succeeded.Load(),
+		QueriesRejected:       e.counters.rejected.Load(),
+		QueriesClosed:         e.counters.closed.Load(),
+		QueriesCanceled:       e.counters.canceled.Load(),
+		QueriesTimedOut:       e.counters.timedOut.Load(),
+		QueriesCorrupt:        e.counters.corrupt.Load(),
+		QueriesPanicked:       e.counters.panicked.Load(),
+		QueriesFailedOther:    e.counters.failedOther.Load(),
+		QueriesRetried:        e.counters.retried.Load(),
+		AdmissionQueued:       adm.queued,
+		AdmissionWaits:        adm.waits,
+		AdmissionWaitTotal:    time.Duration(adm.waitNS),
+		AdmissionShedOverflow: adm.shedOverflow,
+		AdmissionShedExpired:  adm.shedExpired,
+		AdmissionShedClosed:   adm.shedClosed,
+		EngineClosed:          adm.closed,
+		MemBudget:             e.gov.Total(),
+		MemReserved:           e.gov.Reserved(),
+		MemPeakReserved:       mem.PeakReserved,
+		MemWaits:              mem.Waits,
+		MemWaitTotal:          time.Duration(mem.WaitNS),
+		MemSheds:              mem.Rejected,
+		MemOverBudget:         e.counters.memShed.Load(),
+		BudgetTotal:           e.budget.Total(),
+		BudgetLeases:          e.budget.Leases(),
+		BudgetInUse:           e.budget.InUse(),
+		LeaseGrants:           e.counters.leaseGrants.Load(),
+		LeaseShrinks:          e.counters.leaseShrinks.Load(),
+		LeaseReleases:         e.counters.leaseReleases.Load(),
+	}
+}
+
+// execObs is the per-attempt admission observability state: the query id
+// reserved before admission, and the wait/memory figures stamped into the
+// QueryStats tree at finish. Its event emitters trace the admission
+// pseudo-span (Node == -1) when a tracer is attached.
+type execObs struct {
+	query         uint64
+	admissionWait time.Duration
+	memEstimate   int64
+	memPeak       int64
+	memDegraded   bool
+}
+
+// span is the query-level admission pseudo-span of this execution.
+func (ob *execObs) span() metrics.Span {
+	return metrics.Span{Query: ob.query, Node: -1, Op: "admission"}
+}
+
+// shed traces an admission rejection (queue overflow, wait expiry, memory
+// pressure, or closed engine) after a total wait of wait.
+func (ob *execObs) shed(opt *options, wait time.Duration) {
+	if opt.tracer != nil {
+		opt.tracer.Event(ob.span(), time.Now(),
+			metrics.Event{Kind: metrics.EvAdmissionShed, Value: wait.Nanoseconds()})
+	}
+}
+
+// admitted traces a completed admission: the accumulated wait (when any) and
+// the governor reservation (when a governor is configured).
+func (ob *execObs) admitted(opt *options, gov *ops.MemGovernor) {
+	if opt.tracer == nil {
+		return
+	}
+	if ob.admissionWait > 0 {
+		opt.tracer.Event(ob.span(), time.Now(),
+			metrics.Event{Kind: metrics.EvAdmissionWait, Value: ob.admissionWait.Nanoseconds()})
+	}
+	if gov.Total() > 0 {
+		opt.tracer.Event(ob.span(), time.Now(),
+			metrics.Event{Kind: metrics.EvMemReserve, Value: ob.memEstimate})
 	}
 }
 
 // newCollector builds the execution's collector when stats or tracing were
 // requested, pre-defining every plan node so even a failed execution's tree
-// is fully labelled. Detached executions (the common case) return nil.
-func (pr *Prepared) newCollector(opt *options) *metrics.Collector {
+// is fully labelled. Detached executions (the common case) return nil. The
+// query id was reserved before admission (execObs) so admission events and
+// operator spans share one number.
+func (pr *Prepared) newCollector(opt *options, query uint64) *metrics.Collector {
 	if opt.stats == nil && opt.tracer == nil {
 		return nil
 	}
-	coll := metrics.NewCollector(len(pr.p.nodes), opt.tracer)
+	coll := metrics.NewCollectorFor(query, len(pr.p.nodes), opt.tracer)
 	for _, n := range pr.p.nodes {
 		var inputs []int
 		seen := make(map[int]bool, len(n.inputs))
@@ -178,13 +294,18 @@ func (pr *Prepared) newCollector(opt *options) *metrics.Collector {
 	return coll
 }
 
-// finishCollector assembles the execution's stats tree, copies it into the
-// WithExecStats destination, and attaches it to a *QueryError failure.
-func finishCollector(coll *metrics.Collector, opt *options, err error) {
+// finishCollector assembles the execution's stats tree, stamps the
+// admission/memory figures, copies it into the WithExecStats destination,
+// and attaches it to a *QueryError failure.
+func finishCollector(coll *metrics.Collector, opt *options, err error, ob *execObs) {
 	if coll == nil {
 		return
 	}
 	qs := coll.Finish(err)
+	qs.AdmissionWait = ob.admissionWait
+	qs.MemEstimate = ob.memEstimate
+	qs.MemPeak = ob.memPeak
+	qs.MemDegraded = ob.memDegraded
 	if opt.stats != nil {
 		*opt.stats = *qs
 	}

@@ -42,12 +42,14 @@ type boundNode struct {
 }
 
 // execState is the mutable state of one plan execution: the per-node output
-// slots, plus the execution's stats collector (nil when detached). The
-// scheduler publishes a node's outputs before any dependent is popped, which
+// slots, the execution's stats collector (nil when detached), and its memory
+// reservation (nil-safe; tracking-only without a governor). The scheduler
+// publishes a node's outputs before any dependent is popped, which
 // establishes the happens-before edge for readers.
 type execState struct {
 	outs [][]*columns.Column
 	coll *metrics.Collector
+	mres *ops.MemReservation
 }
 
 // in resolves a bound input reference against the execution state.

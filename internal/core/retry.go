@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy configures the bounded retry loop WithRetry attaches to
+// Prepared.Execute: how many attempts to make and how the exponential
+// backoff between them grows. The zero policy disables retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of execution attempts including the
+	// first; values <= 1 disable retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it. 0 retries immediately.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (before jitter); 0 means no cap.
+	MaxDelay time.Duration
+	// Jitter randomizes each backoff by up to the given fraction of itself
+	// (delay × [1, 1+Jitter]), de-synchronizing retry storms from many
+	// callers shed at once. Negative or zero means no jitter.
+	Jitter float64
+}
+
+// attempts returns the effective attempt bound (at least one).
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the sleep before the retry following attempt (1-based),
+// jittered.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.backoffBase(attempt)
+	if d > 0 && p.Jitter > 0 {
+		d += time.Duration(p.Jitter * rand.Float64() * float64(d))
+	}
+	return d
+}
+
+// backoffBase is the deterministic part of backoff: BaseDelay doubled per
+// completed attempt, capped by MaxDelay (overflow-safe).
+func (p RetryPolicy) backoffBase(attempt int) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	d := p.BaseDelay
+	for i := 1; i < attempt; i++ {
+		if d > p.BaseDelay<<20 { // far past any sane MaxDelay; stop doubling
+			break
+		}
+		d *= 2
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// WithRetry retries an execution whose failure is retryable (IsRetryable:
+// admission sheds and transient injected faults — never mid-flight
+// cancellations, corrupt data, or a closed engine) up to the policy's
+// attempt bound, sleeping the policy's jittered exponential backoff between
+// attempts. The caller's context covers all attempts and the sleeps
+// between them; WithQueryTimeout applies per attempt. Every attempt counts
+// in the engine's Stats outcome counters, and retries additionally in
+// QueriesRetried. Applies to NewEngine, Prepare, and Execute.
+func WithRetry(p RetryPolicy) Option {
+	return Option{name: "WithRetry", scope: scopeEngine | scopePrepare | scopeExec,
+		apply: func(o *options) { o.retry = p }}
+}

@@ -45,9 +45,16 @@ var (
 	// GroupMerge fires in the sequential merge phase of the parallel
 	// grouping operators, between the worker builds and the remap pass.
 	GroupMerge = newPoint("group-merge")
+	// AdmissionEnqueue fires when a query is about to park in the engine's
+	// bounded admission queue (after the fast-path grant was unavailable,
+	// before the waiter is enqueued).
+	AdmissionEnqueue = newPoint("admission-enqueue")
+	// CloseDrain fires at the head of Engine.Close, after admission stops
+	// accepting new work and before the drain wait begins.
+	CloseDrain = newPoint("close-drain")
 )
 
-var points = []*Point{MorselClaim, KernelBody, StitchSeam, ConcatFixup, BudgetRedivide, GroupMerge}
+var points = []*Point{MorselClaim, KernelBody, StitchSeam, ConcatFixup, BudgetRedivide, GroupMerge, AdmissionEnqueue, CloseDrain}
 
 func newPoint(name string) *Point { return &Point{name: name} }
 

@@ -54,7 +54,8 @@ func TestPointsAndDisarmAll(t *testing.T) {
 		p.Arm(func() error { return errors.New("x") })
 	}
 	for _, want := range []string{"morsel-claim", "kernel-body", "stitch-seam",
-		"concat-fixup", "budget-redivide", "group-merge"} {
+		"concat-fixup", "budget-redivide", "group-merge",
+		"admission-enqueue", "close-drain"} {
 		if !names[want] {
 			t.Fatalf("missing point %q", want)
 		}

@@ -49,6 +49,23 @@ type QueryStats struct {
 	Failed bool
 	// Err is the execution's error text ("" on success).
 	Err string
+	// AdmissionWait is the time the execution spent parked in the engine's
+	// admission queue and memory-governor wait before it started (0 on the
+	// uncontended fast path).
+	AdmissionWait time.Duration
+	// MemEstimate is the intermediate-memory byte estimate the execution
+	// reserved from the engine's memory governor (the prepare-time estimate,
+	// clamped to the budget when the execution degraded; 0 without a
+	// governor).
+	MemEstimate int64
+	// MemPeak is the peak intermediate bytes the execution actually
+	// materialized, summed from the runtime charges of the operator and
+	// stitch buffers.
+	MemPeak int64
+	// MemDegraded reports that the execution was pinned to sequential
+	// processing because its estimate exceeded the engine's memory budget
+	// (the WithMemoryBudget + WithMemoryLimitDegrade runtime path).
+	MemDegraded bool
 	// Nodes holds one entry per plan node, indexed by plan node id (the
 	// plan's topological order).
 	Nodes []NodeStats
@@ -120,6 +137,12 @@ func (s *Shard) Record(d time.Duration) {
 // queries interleaved in one sink stay attributable.
 var queryID atomic.Uint64
 
+// ReserveQueryID draws the next process-wide execution number without
+// building a collector. The execution layer reserves the id before admission
+// so admission-wait and shed events trace under the same query number the
+// collector later uses; pass it to NewCollectorFor.
+func ReserveQueryID() uint64 { return queryID.Add(1) }
+
 // Collector gathers one execution's QueryStats tree and forwards span
 // events to the execution's Tracer. The zero collector count (a nil
 // *Collector) is the detached mode: Node returns nil and every downstream
@@ -134,7 +157,14 @@ type Collector struct {
 // NewCollector returns a collector for an execution of a plan with the given
 // node count; tracer may be nil (stats only).
 func NewCollector(nodes int, tracer Tracer) *Collector {
-	c := &Collector{query: queryID.Add(1), tracer: tracer, start: time.Now(), nodes: make([]NodeCollector, nodes)}
+	return NewCollectorFor(ReserveQueryID(), nodes, tracer)
+}
+
+// NewCollectorFor is NewCollector under a query id the caller already
+// reserved with ReserveQueryID (so pre-admission trace events and the
+// collected stats share one number).
+func NewCollectorFor(query uint64, nodes int, tracer Tracer) *Collector {
+	c := &Collector{query: query, tracer: tracer, start: time.Now(), nodes: make([]NodeCollector, nodes)}
 	for i := range c.nodes {
 		c.nodes[i].c = c
 		c.nodes[i].ns.Node = i

@@ -14,9 +14,26 @@ const (
 	EvLease = "lease"
 	// EvSeqFallback marks a fallback to sequential execution; Value is 1.
 	EvSeqFallback = "seq_fallback"
+	// EvAdmissionWait reports a query that parked at the engine's admission
+	// layer (bounded queue or memory governor) and was eventually admitted;
+	// Value is the wait in nanoseconds. Emitted on the query-level span
+	// (Node == -1, Op == "admission").
+	EvAdmissionWait = "admission_wait"
+	// EvAdmissionShed reports a query rejected by the admission layer
+	// (queue overflow, wait expiry, or closed engine) before it started;
+	// Value is the wait in nanoseconds (0 for immediate sheds). Emitted on
+	// the query-level span.
+	EvAdmissionShed = "admission_shed"
+	// EvMemReserve reports the bytes a query reserved from the engine's
+	// memory governor at admission; Value is the reservation size. Emitted
+	// on the query-level span.
+	EvMemReserve = "mem_reserve"
 )
 
-// Span identifies one operator of one execution in a trace stream.
+// Span identifies one operator of one execution in a trace stream. The
+// engine's admission layer emits query-level events under a pseudo-span with
+// Node == -1 and Op == "admission" — those events precede every operator
+// span of the same Query.
 type Span struct {
 	// Query is the execution sequence number (QueryStats.Query).
 	Query uint64 `json:"query"`
@@ -30,7 +47,8 @@ type Span struct {
 
 // Event is a point-in-time occurrence within a span (see the Ev* kinds).
 type Event struct {
-	// Kind names the event (EvLease, EvSeqFallback).
+	// Kind names the event (EvLease, EvSeqFallback, EvAdmissionWait,
+	// EvAdmissionShed, EvMemReserve).
 	Kind string `json:"kind"`
 	// Value is the event's payload (e.g. the new lease limit).
 	Value int64 `json:"value"`

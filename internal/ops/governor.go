@@ -1,0 +1,224 @@
+package ops
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"morphstore/internal/qerr"
+)
+
+// This file implements the runtime memory governor: an engine-wide byte
+// budget that queries reserve against at admission (using their prepare-time
+// estimate) and that intermediate-buffer allocation sites charge against at
+// runtime. The governor turns memory pressure into back-pressure at the
+// engine boundary — a query whose estimate does not fit waits for running
+// queries to release their reservations, degrades to sequential execution,
+// or is shed with a typed error — instead of letting concurrent queries
+// over-allocate and OOM the process.
+//
+// Reservations are acquired once, before any query work starts, and released
+// once, after the last intermediate is dropped; because no query ever waits
+// for memory while holding memory, the governor cannot deadlock. Runtime
+// charges (MemReservation.Charge) are pure accounting against the
+// reservation: they record the actual bytes materialized so the
+// estimate-vs-actual drift is observable per query (QueryStats.MemPeakBytes)
+// and per engine, without adding a blocking point to the morsel hot path.
+
+// MemGovernor is an engine-wide byte budget shared by every concurrently
+// executing query. It is safe for concurrent use. A nil governor means no
+// memory budget: every method no-ops and Reserve grants immediately.
+type MemGovernor struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	total    int64
+	reserved int64
+	// lifetime counters, guarded by mu (snapshot via Counters)
+	waits     int64
+	waitNS    int64
+	rejected  int64
+	peakResvd int64
+}
+
+// NewMemGovernor returns a governor over a budget of total bytes; total <= 0
+// returns nil (no budget), which every method accepts.
+func NewMemGovernor(total int64) *MemGovernor {
+	if total <= 0 {
+		return nil
+	}
+	g := &MemGovernor{total: total}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Total returns the governor's byte budget (0 for a nil governor).
+func (g *MemGovernor) Total() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.total
+}
+
+// Reserved returns the bytes currently reserved by running queries. An idle
+// governor reports zero; the leak checks of the chaos suite assert this.
+func (g *MemGovernor) Reserved() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.reserved
+}
+
+// MemCounters is a snapshot of a governor's lifetime accounting, folded into
+// Engine.Stats.
+type MemCounters struct {
+	// Waits counts reservations that had to wait for bytes to free up.
+	Waits int64
+	// WaitNS is the summed wait time of those reservations in nanoseconds.
+	WaitNS int64
+	// Rejected counts reservations shed (wait expired or estimate over the
+	// whole budget without degrade).
+	Rejected int64
+	// PeakReserved is the high-water mark of concurrently reserved bytes.
+	PeakReserved int64
+}
+
+// Counters returns the governor's lifetime counters (zero for nil).
+func (g *MemGovernor) Counters() MemCounters {
+	if g == nil {
+		return MemCounters{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return MemCounters{Waits: g.waits, WaitNS: g.waitNS, Rejected: g.rejected, PeakReserved: g.peakResvd}
+}
+
+// Reserve blocks until bytes can be reserved against the budget, or until
+// ctx fires — then the reservation is shed with an error matching
+// qerr.ErrAdmissionRejected (never qerr.ErrQueryCanceled: the query did no
+// work). bytes larger than the whole budget can never be granted and is
+// rejected immediately with qerr.ErrMemoryLimit; the caller chooses between
+// shedding and degrading (see core's WithMemoryLimitDegrade path). A nil
+// governor, or bytes <= 0, grants a tracking-only reservation immediately.
+// waitNS, when non-nil, receives the nanoseconds spent waiting.
+func (g *MemGovernor) Reserve(ctx context.Context, bytes int64, waitNS *int64) (*MemReservation, error) {
+	if g == nil || bytes <= 0 {
+		return &MemReservation{g: g}, nil
+	}
+	if bytes > g.total {
+		g.mu.Lock()
+		g.rejected++
+		g.mu.Unlock()
+		return nil, qerr.Tag(
+			fmt.Errorf("ops: memory governor: estimate %d bytes exceeds the %d-byte engine budget", bytes, g.total),
+			qerr.ErrMemoryLimit)
+	}
+	// A context expiry must wake the cond wait; AfterFunc broadcasts under
+	// the governor mutex so the waiter re-checks ctx.Err.
+	var stop func() bool
+	if ctx != nil {
+		stop = context.AfterFunc(ctx, func() {
+			g.mu.Lock()
+			g.cond.Broadcast()
+			g.mu.Unlock()
+		})
+		defer stop()
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	waited := false
+	var start time.Time
+	for g.reserved+bytes > g.total {
+		if ctx != nil && ctx.Err() != nil {
+			g.rejected++
+			return nil, qerr.Tag(
+				fmt.Errorf("ops: memory governor: wait for %d bytes expired: %w", bytes, ctx.Err()),
+				qerr.ErrAdmissionRejected)
+		}
+		if !waited {
+			waited = true
+			g.waits++
+			start = time.Now()
+		}
+		g.cond.Wait()
+	}
+	if waited {
+		d := time.Since(start).Nanoseconds()
+		g.waitNS += d
+		if waitNS != nil {
+			*waitNS = d
+		}
+	}
+	g.reserved += bytes
+	if g.reserved > g.peakResvd {
+		g.peakResvd = g.reserved
+	}
+	return &MemReservation{g: g, bytes: bytes}, nil
+}
+
+// release returns a reservation's bytes to the budget and wakes waiters.
+func (g *MemGovernor) release(bytes int64) {
+	g.mu.Lock()
+	g.reserved -= bytes
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// MemReservation is one query's registration with a MemGovernor: the
+// estimate-sized byte reservation held for the query's lifetime, plus the
+// running total of bytes actually charged by allocation sites. All methods
+// are nil-receiver-safe no-ops, so execution paths call them unconditionally
+// — an engine without a memory budget pays one nil check per charge site.
+// A reservation with a nil governor (tracking-only) still accounts charges,
+// so estimate-vs-actual drift stays observable without a budget.
+type MemReservation struct {
+	g        *MemGovernor
+	bytes    int64
+	charged  atomic.Int64
+	released atomic.Bool
+}
+
+// Charge books bytes of intermediate-buffer allocation against the
+// reservation. It never blocks: the reservation was sized at admission from
+// the plan's conservative estimate, so runtime charges exceeding it indicate
+// estimate drift (observable via Charged), not a budget violation to enforce
+// mid-query — blocking inside the morsel loops could deadlock siblings.
+func (r *MemReservation) Charge(bytes int) {
+	if r == nil || bytes <= 0 {
+		return
+	}
+	r.charged.Add(int64(bytes))
+}
+
+// Charged returns the bytes charged so far (the query's actual intermediate
+// footprint; compare against the estimate for drift). Nil-safe.
+func (r *MemReservation) Charged() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.charged.Load()
+}
+
+// Reserved returns the reservation's size in bytes (0 when tracking-only).
+func (r *MemReservation) Reserved() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.bytes
+}
+
+// Release returns the reservation to the governor's budget and wakes
+// queries waiting for memory. Idempotent and nil-safe; the execution layer
+// defers it so every exit path — success, failure, panic — releases exactly
+// once.
+func (r *MemReservation) Release() {
+	if r == nil || r.g == nil || r.bytes == 0 {
+		return
+	}
+	if r.released.CompareAndSwap(false, true) {
+		r.g.release(r.bytes)
+	}
+}

@@ -1,0 +1,197 @@
+package ops
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"morphstore/internal/qerr"
+)
+
+// TestMemGovernorAccounting: reservations add up, releases return bytes
+// exactly once, and the peak high-water mark tracks the maximum.
+func TestMemGovernorAccounting(t *testing.T) {
+	g := NewMemGovernor(1000)
+	if g.Total() != 1000 || g.Reserved() != 0 {
+		t.Fatalf("fresh governor: total %d reserved %d", g.Total(), g.Reserved())
+	}
+	r1, err := g.Reserve(context.Background(), 400, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.Reserve(context.Background(), 600, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Reserved(); got != 1000 {
+		t.Fatalf("reserved = %d, want 1000", got)
+	}
+	if c := g.Counters(); c.PeakReserved != 1000 {
+		t.Fatalf("peak = %d, want 1000", c.PeakReserved)
+	}
+	r1.Release()
+	r1.Release() // idempotent: releasing twice must not free foreign bytes
+	if got := g.Reserved(); got != 600 {
+		t.Fatalf("after release: reserved = %d, want 600", got)
+	}
+	r2.Release()
+	if got := g.Reserved(); got != 0 {
+		t.Fatalf("idle governor holds %d bytes", got)
+	}
+}
+
+// TestMemGovernorOverBudget: an estimate larger than the whole budget can
+// never be granted and is rejected immediately with ErrMemoryLimit — the
+// caller decides between shedding and degrading.
+func TestMemGovernorOverBudget(t *testing.T) {
+	g := NewMemGovernor(100)
+	if _, err := g.Reserve(context.Background(), 101, nil); !errors.Is(err, qerr.ErrMemoryLimit) {
+		t.Fatalf("over-budget reserve: %v, want ErrMemoryLimit", err)
+	}
+	if errors.Is(func() error { _, err := g.Reserve(context.Background(), 101, nil); return err }(), qerr.ErrAdmissionRejected) {
+		t.Fatal("over-budget reserve must not be a retryable admission shed")
+	}
+	if g.Reserved() != 0 {
+		t.Fatalf("failed reserve leaked %d bytes", g.Reserved())
+	}
+}
+
+// TestMemGovernorWaitAndWake: a reservation that does not fit parks until a
+// running query releases; the wait is counted and measured.
+func TestMemGovernorWaitAndWake(t *testing.T) {
+	g := NewMemGovernor(100)
+	r1, err := g.Reserve(context.Background(), 80, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var waitNS int64
+	go func() {
+		defer wg.Done()
+		r2, err := g.Reserve(context.Background(), 50, &waitNS)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r2.Release()
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter park
+	r1.Release()
+	wg.Wait()
+	if g.Reserved() != 0 {
+		t.Fatalf("idle governor holds %d bytes", g.Reserved())
+	}
+	c := g.Counters()
+	if c.Waits != 1 || c.WaitNS <= 0 || waitNS <= 0 {
+		t.Fatalf("wait accounting: %+v, caller waitNS %d", c, waitNS)
+	}
+}
+
+// TestMemGovernorWaitExpiry: a context expiring during the memory wait sheds
+// the query with ErrAdmissionRejected — never ErrQueryCanceled, the query
+// did no work — for both expiry flavours.
+func TestMemGovernorWaitExpiry(t *testing.T) {
+	g := NewMemGovernor(100)
+	hold, err := g.Reserve(context.Background(), 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(5 * time.Millisecond); cancel() }()
+	_, err = g.Reserve(ctx, 10, nil)
+	if !errors.Is(err, qerr.ErrAdmissionRejected) || errors.Is(err, qerr.ErrQueryCanceled) {
+		t.Fatalf("cancel during memory wait: %v, want ErrAdmissionRejected without ErrQueryCanceled", err)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer dcancel()
+	_, err = g.Reserve(dctx, 10, nil)
+	if !errors.Is(err, qerr.ErrAdmissionRejected) || errors.Is(err, qerr.ErrQueryTimeout) {
+		t.Fatalf("deadline during memory wait: %v, want ErrAdmissionRejected without ErrQueryTimeout", err)
+	}
+	if c := g.Counters(); c.Rejected != 2 {
+		t.Fatalf("rejected = %d, want 2", c.Rejected)
+	}
+}
+
+// TestMemReservationCharge: runtime charges accumulate on the reservation —
+// including on a tracking-only reservation without a governor — and the
+// nil-receiver paths are no-ops.
+func TestMemReservationCharge(t *testing.T) {
+	g := NewMemGovernor(1 << 20)
+	r, err := g.Reserve(context.Background(), 1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Release()
+	rt := RT(context.Background(), nil, 2).WithMemReservation(r)
+	rt.ChargeMem(100)
+	rt.ChargeMem(28)
+	rt.ChargeMem(0)
+	rt.ChargeMem(-5)
+	if got := r.Charged(); got != 128 {
+		t.Fatalf("charged = %d, want 128", got)
+	}
+	if r.Reserved() != 1024 {
+		t.Fatalf("reserved = %d, want 1024", r.Reserved())
+	}
+
+	// Tracking-only: nil governor still accounts charges, Release no-ops.
+	var nilGov *MemGovernor
+	tr, err := nilGov.Reserve(context.Background(), 1<<30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Charge(77)
+	tr.Release()
+	if tr.Charged() != 77 {
+		t.Fatalf("tracking-only charged = %d, want 77", tr.Charged())
+	}
+
+	// Nil reservation: every method is a safe no-op.
+	var nr *MemReservation
+	nr.Charge(10)
+	nr.Release()
+	if nr.Charged() != 0 || nr.Reserved() != 0 {
+		t.Fatal("nil reservation must report zero")
+	}
+	if nilGov.Total() != 0 || nilGov.Reserved() != 0 || (nilGov.Counters() != MemCounters{}) {
+		t.Fatal("nil governor must report zero")
+	}
+}
+
+// TestMemGovernorConcurrentChurn: many goroutines reserving and releasing
+// random-ish sizes never push Reserved over Total and leave it at zero.
+func TestMemGovernorConcurrentChurn(t *testing.T) {
+	const total = 1000
+	g := NewMemGovernor(total)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				size := int64(100 + (w*31+i*17)%300)
+				r, err := g.Reserve(context.Background(), size, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res := g.Reserved(); res > total {
+					t.Errorf("reserved %d exceeds total %d", res, total)
+				}
+				r.Charge(int(size))
+				r.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.Reserved() != 0 {
+		t.Fatalf("idle governor holds %d bytes", g.Reserved())
+	}
+}

@@ -292,14 +292,16 @@ func (b *Budget) InUse() int {
 
 // Runtime carries the execution environment of one operator invocation:
 // the cancellation context, the operator's budget lease (nil outside an
-// engine), the morsel-parallelism cap, and the operator's stats collector
-// (nil when detached). The zero value behaves like the legacy fixed par=1
-// sequential execution.
+// engine), the morsel-parallelism cap, the operator's stats collector (nil
+// when detached), and the query's memory reservation (nil without a memory
+// budget). The zero value behaves like the legacy fixed par=1 sequential
+// execution.
 type Runtime struct {
 	ctx   context.Context
 	lease *Lease
 	par   int
 	coll  *metrics.NodeCollector
+	mres  *MemReservation
 }
 
 // FixedRT returns a runtime with a fixed worker count and no budget sharing
@@ -320,6 +322,21 @@ func (rt Runtime) WithCollector(nc *metrics.NodeCollector) Runtime {
 	rt.coll = nc
 	return rt
 }
+
+// WithMemReservation returns a copy of the runtime charging intermediate
+// allocations against r (the query's memory-governor reservation). A nil r
+// (or never calling WithMemReservation) is the untracked mode: ChargeMem is
+// one nil check.
+func (rt Runtime) WithMemReservation(r *MemReservation) Runtime {
+	rt.mres = r
+	return rt
+}
+
+// ChargeMem books bytes of intermediate-buffer allocation against the
+// query's memory reservation; a no-op without one. Charge sites are
+// per-section/per-column, never per-element, so the accounting stays off the
+// kernel hot path.
+func (rt Runtime) ChargeMem(bytes int) { rt.mres.Charge(bytes) }
 
 // Par returns the runtime's morsel-parallelism cap (at least 1).
 func (rt Runtime) Par() int {

@@ -101,6 +101,10 @@ func (rt Runtime) stitchParallel(desc columns.FormatDesc, chunks [][]uint64, tot
 		if err != nil {
 			return err
 		}
+		// The section's compressed buffer is a transient intermediate beyond
+		// the final column: charge it against the query's memory reservation
+		// so the governor sees the stitch's real peak, not just the concat.
+		rt.ChargeMem(c.PhysicalBytes())
 		parts[i] = c
 		return nil
 	})

@@ -12,8 +12,10 @@
 //     cancelled or hit its deadline,
 //   - ErrMemoryLimit: the prepare-time memory estimate exceeded the
 //     configured limit,
-//   - ErrAdmissionRejected: the query never started because the admission
-//     gate did not open before its context fired,
+//   - ErrAdmissionRejected: the query never started — shed by the bounded
+//     admission queue, a queue-wait expiry, or memory-governor pressure,
+//   - ErrEngineClosed: the engine was shut down with Engine.Close,
+//   - ErrTransient: a failure expected to clear on retry (see IsRetryable),
 //   - *QueryError: a panic in an operator kernel or worker goroutine,
 //     recovered and isolated to the failing query.
 //
@@ -47,10 +49,45 @@ var (
 	// ErrMemoryLimit reports a query whose prepare-time memory estimate
 	// exceeds the configured WithMemoryEstimateLimit.
 	ErrMemoryLimit = errors.New("memory estimate over limit")
-	// ErrAdmissionRejected reports a query that never started: its context
-	// fired while it was waiting at the engine's admission gate.
+	// ErrAdmissionRejected reports a query that never started: it was shed at
+	// the engine's admission layer — the bounded queue overflowed, the queue
+	// wait exceeded its deadline, or the memory governor could not reserve the
+	// query's estimate in time. Shed queries did no work and are retryable.
 	ErrAdmissionRejected = errors.New("query rejected at admission gate")
+	// ErrEngineClosed reports a call against an engine that has been shut
+	// down with Engine.Close: later Execute and one-off operator calls fail
+	// fast with it, queued waiters are shed with it, and in-flight queries
+	// cancelled by the close deadline carry it alongside ErrQueryCanceled.
+	ErrEngineClosed = errors.New("engine closed")
+	// ErrTransient tags failures whose cause is expected to clear on its own
+	// (an injected transient fault, a momentary resource blip): retrying the
+	// same query against the same engine may succeed. It is the extension
+	// point IsRetryable honours beyond the admission sheds.
+	ErrTransient = errors.New("transient failure")
 )
+
+// IsRetryable reports whether retrying the failed call against the same
+// engine can plausibly succeed. Admission sheds (queue overflow, queue-wait
+// expiry, memory-governor pressure) and transient-tagged failures are
+// retryable: the query never ran, or failed for a reason expected to clear.
+// A closed engine, corrupt data, a caller-cancelled context, and recovered
+// panics are not — retrying replays the same outcome or overrides the
+// caller's intent. WithRetry consults exactly this predicate.
+func IsRetryable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrEngineClosed):
+		return false
+	case errors.Is(err, ErrCorruptData):
+		return false
+	case errors.Is(err, ErrAdmissionRejected):
+		return true
+	case errors.Is(err, ErrTransient):
+		return true
+	}
+	return false
+}
 
 // QueryError is a panic recovered inside a query execution, converted into
 // an error so one failing operator cannot take down the process or its

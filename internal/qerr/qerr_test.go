@@ -87,6 +87,34 @@ func TestClassify(t *testing.T) {
 	}
 }
 
+func TestIsRetryable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"plain", errors.New("plain"), false},
+		{"shed", Tag(errors.New("queue full"), ErrAdmissionRejected), true},
+		{"queue timeout", Tag(fmt.Errorf("wait: %w", context.DeadlineExceeded), ErrAdmissionRejected), true},
+		{"transient", Tag(errors.New("blip"), ErrTransient), true},
+		{"corrupt", fmt.Errorf("block: %w", ErrCorruptData), false},
+		{"closed", Tag(errors.New("shutting down"), ErrEngineClosed), false},
+		{"canceled", Tag(context.Canceled, ErrQueryCanceled), false},
+		{"panic", error(Recovered("boom", 1)), false},
+		// A transient-tagged corruption stays non-retryable: replaying the
+		// same corrupt column replays the same failure.
+		{"transient corrupt", Tag(fmt.Errorf("x: %w", ErrCorruptData), ErrTransient), false},
+		// A closed engine wins over every retryable tag.
+		{"closed shed", Tag(Tag(errors.New("drain"), ErrAdmissionRejected), ErrEngineClosed), false},
+	}
+	for _, c := range cases {
+		if got := IsRetryable(c.err); got != c.want {
+			t.Errorf("IsRetryable(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
 func TestClassifyKeepsMessage(t *testing.T) {
 	err := fmt.Errorf("core: select %q: %w", "pos", context.Canceled)
 	got := Classify(err)
