@@ -53,6 +53,12 @@ type Engine = core.Engine
 // concurrent Execute(ctx) calls from many goroutines.
 type Prepared = core.Prepared
 
+// Snapshot is a consistent read view over the engine's tables, returned by
+// Engine.Snapshot: each writable table pinned at one delta epoch, immune to
+// later Append/Delete calls and remorph swaps. Every Execute pins its own
+// snapshot at admission, so all operators of one query read the same view.
+type Snapshot = core.Snapshot
+
 // Option is a functional option for NewEngine, Engine.Prepare,
 // Prepared.Execute, and the engine's one-off operator calls.
 type Option = core.Option
@@ -129,6 +135,19 @@ type RetryPolicy = core.RetryPolicy
 // The caller's context covers all attempts; WithQueryTimeout applies per
 // attempt. Applies to NewEngine, Prepare, and Execute.
 func WithRetry(p RetryPolicy) Option { return core.WithRetry(p) }
+
+// WithRemorph starts the engine's background remorph worker: every interval
+// it scans the tables written through Engine.Append/Delete and rebuilds any
+// whose delta (tail rows plus pending deletions) has reached threshold times
+// the main row count (threshold <= 0 folds any non-empty delta). A rebuild
+// rescans main plus delta off the hot path, re-picks each column's
+// compression format with the cost model, and atomically swaps the new main
+// in; running queries finish on their pinned snapshots. Engine.Close stops
+// the worker and drains an in-flight rebuild. Without this option the delta
+// only folds on explicit Engine.Remorph calls. Applies to NewEngine.
+func WithRemorph(threshold float64, interval time.Duration) Option {
+	return core.WithRemorph(threshold, interval)
+}
 
 // WithFormat assigns a compression format to one named plan column,
 // overriding WithUniformFormat/WithCostBasedFormats choices. Applies to

@@ -39,6 +39,11 @@ var (
 	// sequential readers, random access, compressed concatenation — matches
 	// this sentinel.
 	ErrCorruptData = qerr.ErrCorruptData
+	// ErrInvalidSchema reports malformed base data handed to the engine:
+	// ragged column lengths at DB.AddTable, a duplicate table registration,
+	// or an Engine.Append whose rows do not match the table's column set.
+	// The failed call changed nothing; fix the data and retry.
+	ErrInvalidSchema = qerr.ErrInvalidSchema
 	// ErrQueryCanceled reports an execution stopped by context cancellation.
 	ErrQueryCanceled = qerr.ErrQueryCanceled
 	// ErrQueryTimeout reports an execution stopped by a context deadline,

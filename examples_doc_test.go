@@ -61,6 +61,44 @@ func TestREADMEAPISnippet(t *testing.T) {
 	}
 }
 
+// TestREADMEWriteSnippet compiles and runs the README "## Writable tables"
+// example.
+func TestREADMEWriteSnippet(t *testing.T) {
+	ctx := context.Background()
+
+	// doc-snippet:readme-write README.md
+	wdb := morphstore.NewDB()
+	wdb.AddTable("events", map[string][]uint64{"v": {10, 20, 30, 40}})
+	weng := morphstore.NewEngine(wdb,
+		morphstore.WithRemorph(0.1, time.Second)) // background delta folding
+	werr := weng.Append(ctx, "events", map[string][]uint64{"v": {50, 60}})
+	if werr == nil {
+		werr = weng.Delete(ctx, "events", []uint64{0}) // by live row position
+	}
+	if werr == nil {
+		werr = weng.Remorph(ctx, "events") // or fold the delta right now
+	}
+	epoch := weng.Snapshot().Epoch("events") // pinned, consistent read view
+	// end-doc-snippet
+
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if epoch == 0 {
+		t.Fatal("mutations did not advance the table epoch")
+	}
+	st := weng.Stats()
+	if st.Appends != 1 || st.AppendedRows != 2 || st.Deletes != 1 || st.Remorphs != 1 {
+		t.Fatalf("write counters not tracked: %+v", st)
+	}
+	if n, ok := weng.Snapshot().Rows("events"); !ok || n != 5 {
+		t.Fatalf("live rows = %d,%v, want 5,true", n, ok)
+	}
+	if err := weng.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
 // TestArchitectureGroupingSnippet compiles and runs the grouped-aggregation
 // example from docs/ARCHITECTURE.md.
 func TestArchitectureGroupingSnippet(t *testing.T) {

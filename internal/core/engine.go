@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"morphstore/internal/columns"
@@ -65,6 +66,11 @@ type options struct {
 	memBudget   int64         // engine-wide runtime memory budget; 0 = none
 	memDegrade  bool          // over-limit plans degrade to par=1 instead of failing
 	retry       RetryPolicy   // zero value = no retries
+	// Background remorph (WithRemorph): delta-to-main ratio that triggers a
+	// rebuild (<= 0 = any non-empty delta) and the worker's sweep interval
+	// (0 = no worker).
+	remorphRatio float64
+	remorphEvery time.Duration
 	// Format resolution (Prepare): explicit per-column formats, a uniform
 	// format for every intermediate, or cost-based selection. Explicit
 	// entries take precedence over uniform/cost-based choices.
@@ -337,6 +343,16 @@ type Engine struct {
 	defs     options
 	err      error
 	counters engineCounters
+
+	// Writable-table state (writable.go): the per-table delta stores created
+	// lazily by Append/Delete, and the background remorph worker's lifecycle.
+	wmu          sync.Mutex
+	wtabs        map[string]*writableTable
+	remorphRatio float64
+	remorphEvery time.Duration
+	remorphStop  chan struct{} // closed by Close (once) to stop the worker
+	remorphDone  chan struct{} // closed by the worker on exit (nil without one)
+	stopRemorph  sync.Once
 }
 
 // NewEngine returns an engine over db. Options set engine-wide defaults
@@ -355,6 +371,13 @@ func NewEngine(db *DB, o ...Option) *Engine {
 	e.adm = newAdmission(defs.maxQueries, defs.admitDepth, defs.admitWait)
 	e.gov = ops.NewMemGovernor(defs.memBudget)
 	e.killCtx, e.kill = context.WithCancel(context.Background())
+	e.wtabs = make(map[string]*writableTable)
+	e.remorphRatio, e.remorphEvery = defs.remorphRatio, defs.remorphEvery
+	e.remorphStop = make(chan struct{})
+	if err == nil && e.remorphEvery > 0 {
+		e.remorphDone = make(chan struct{})
+		go e.remorphLoop()
+	}
 	// Query/operator layers interpret par as their own cap; the engine-level
 	// value has been consumed by the budget.
 	e.defs.par = 0
@@ -376,17 +399,32 @@ func (e *Engine) Close(ctx context.Context) error {
 		ctx = context.Background()
 	}
 	e.adm.close()
+	e.stopRemorph.Do(func() { close(e.remorphStop) })
 	if err := hitGuarded(faultpoint.CloseDrain); err != nil {
 		// An injected drain fault leaves the engine closed but possibly
 		// undrained; Close remains callable to finish the drain.
 		return qerr.Tag(err, qerr.ErrEngineClosed)
 	}
 	if e.adm.drain(ctx) {
+		e.waitRemorphWorker()
+		e.releaseDeltaReservations()
 		return nil
 	}
 	e.kill()
 	e.adm.drain(context.Background())
+	e.waitRemorphWorker()
+	e.releaseDeltaReservations()
 	return ctx.Err()
+}
+
+// waitRemorphWorker blocks until the background remorph worker exited (a
+// no-op without one). Admission is closed and drained by the time Close
+// calls it, so the worker is either parked on its ticker — it sees the stop
+// signal promptly — or already gone.
+func (e *Engine) waitRemorphWorker() {
+	if e.remorphDone != nil {
+		<-e.remorphDone
+	}
 }
 
 // DB returns the engine's database.
@@ -629,6 +667,11 @@ func (pr *Prepared) execute(ctx context.Context, opt *options) (*Result, error) 
 		outs: make([][]*columns.Column, len(pr.p.nodes)),
 		coll: pr.newCollector(opt, obs.query),
 		mres: mres,
+		// The snapshot pins every writable table's delta state for the whole
+		// execution: all operators read one consistent main+delta view, and a
+		// remorph swap completing mid-flight stays invisible. Nil on the
+		// read-only fast path.
+		snap: e.snapshotOrNil(),
 	}
 	res := &Result{
 		Cols: make(map[string]*columns.Column, len(pr.p.sinks)),

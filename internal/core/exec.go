@@ -8,6 +8,7 @@ import (
 	"morphstore/internal/columns"
 	"morphstore/internal/formats"
 	"morphstore/internal/morph"
+	"morphstore/internal/qerr"
 	"morphstore/internal/vector"
 )
 
@@ -25,13 +26,28 @@ type DB struct {
 // NewDB returns an empty database.
 func NewDB() *DB { return &DB{Tables: make(map[string]*Table)} }
 
-// AddTable registers a table built from value slices (uncompressed).
-func (db *DB) AddTable(name string, cols map[string][]uint64) {
+// AddTable registers a table built from value slices (uncompressed). All
+// columns must be equally long and the table name must be new; a violation
+// returns an error matching qerr.ErrInvalidSchema and registers nothing
+// (the old silent overwrite/ragged-accept behavior is gone).
+func (db *DB) AddTable(name string, cols map[string][]uint64) error {
+	if _, ok := db.Tables[name]; ok {
+		return qerr.Tag(fmt.Errorf("core: table %q already registered", name), qerr.ErrInvalidSchema)
+	}
 	t := &Table{Name: name, Cols: make(map[string]*columns.Column, len(cols))}
+	n, first := -1, ""
 	for cn, vals := range cols {
+		if n < 0 {
+			n, first = len(vals), cn
+		} else if len(vals) != n {
+			return qerr.Tag(
+				fmt.Errorf("core: table %q: ragged columns: %q has %d values, %q has %d", name, cn, len(vals), first, n),
+				qerr.ErrInvalidSchema)
+		}
 		t.Cols[cn] = columns.FromValues(vals)
 	}
 	db.Tables[name] = t
+	return nil
 }
 
 // Column resolves "table"/"column"; it reports an error for unknown names.

@@ -55,6 +55,15 @@ type engineCounters struct {
 	leaseGrants   atomic.Int64
 	leaseShrinks  atomic.Int64
 	leaseReleases atomic.Int64
+
+	// Write-path counters (Engine.Append/Delete and the remorph worker).
+	appends       atomic.Int64
+	appendedRows  atomic.Int64
+	deletes       atomic.Int64
+	deletedRows   atomic.Int64
+	remorphs      atomic.Int64
+	remorphFailed atomic.Int64
+	remorphRows   atomic.Int64
 }
 
 // query books one Execute outcome into exactly one outcome counter, chosen
@@ -182,6 +191,36 @@ type EngineStats struct {
 	// LeaseReleases counts lease closes; it catches up with LeaseGrants
 	// whenever the engine is idle.
 	LeaseReleases int64
+	// Appends counts successful Engine.Append calls (including zero-row
+	// no-ops).
+	Appends int64
+	// AppendedRows is the total row count over all successful appends.
+	AppendedRows int64
+	// Deletes counts successful Engine.Delete calls.
+	Deletes int64
+	// DeletedRows is the total row count over all successful deletes.
+	DeletedRows int64
+	// Remorphs counts completed remorph swaps (explicit Engine.Remorph calls
+	// and background-worker sweeps alike).
+	Remorphs int64
+	// RemorphFailures counts remorph attempts that failed or were canceled
+	// before their swap.
+	RemorphFailures int64
+	// RemorphRows is the total post-swap main row count over all completed
+	// swaps — a measure of rebuild work done.
+	RemorphRows int64
+	// DeltaTables is the number of tables with write state (touched by
+	// Append/Delete at least once).
+	DeltaTables int
+	// DeltaRows is the current total uncompressed delta-tail row count over
+	// all writable tables.
+	DeltaRows int
+	// DeltaDeleted is the current total pending (unfolded) deletion count
+	// over all writable tables.
+	DeltaDeleted int
+	// DeltaBytes is the current total delta footprint (tail backing,
+	// deletion sets, journals) in bytes.
+	DeltaBytes int64
 }
 
 // Stats returns a snapshot of the engine's lifetime query counters, current
@@ -194,6 +233,17 @@ type EngineStats struct {
 func (e *Engine) Stats() EngineStats {
 	adm := e.adm.counters()
 	mem := e.gov.Counters()
+	var dTables, dRows, dDel int
+	var dBytes int64
+	e.wmu.Lock()
+	for _, wt := range e.wtabs {
+		st := wt.dt.State()
+		dTables++
+		dRows += st.TailRows()
+		dDel += st.DeletedRows()
+		dBytes += wt.dt.DeltaBytes()
+	}
+	e.wmu.Unlock()
 	return EngineStats{
 		QueriesStarted:        e.counters.started.Load(),
 		QueriesSucceeded:      e.counters.succeeded.Load(),
@@ -225,6 +275,17 @@ func (e *Engine) Stats() EngineStats {
 		LeaseGrants:           e.counters.leaseGrants.Load(),
 		LeaseShrinks:          e.counters.leaseShrinks.Load(),
 		LeaseReleases:         e.counters.leaseReleases.Load(),
+		Appends:               e.counters.appends.Load(),
+		AppendedRows:          e.counters.appendedRows.Load(),
+		Deletes:               e.counters.deletes.Load(),
+		DeletedRows:           e.counters.deletedRows.Load(),
+		Remorphs:              e.counters.remorphs.Load(),
+		RemorphFailures:       e.counters.remorphFailed.Load(),
+		RemorphRows:           e.counters.remorphRows.Load(),
+		DeltaTables:           dTables,
+		DeltaRows:             dRows,
+		DeltaDeleted:          dDel,
+		DeltaBytes:            dBytes,
 	}
 }
 

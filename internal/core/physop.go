@@ -42,14 +42,17 @@ type boundNode struct {
 }
 
 // execState is the mutable state of one plan execution: the per-node output
-// slots, the execution's stats collector (nil when detached), and its memory
-// reservation (nil-safe; tracking-only without a governor). The scheduler
-// publishes a node's outputs before any dependent is popped, which
-// establishes the happens-before edge for readers.
+// slots, the execution's stats collector (nil when detached), its memory
+// reservation (nil-safe; tracking-only without a governor), and the snapshot
+// pinning the writable tables' delta states (nil for a read-only engine —
+// scans then hand out the prepare-bound columns). The scheduler publishes a
+// node's outputs before any dependent is popped, which establishes the
+// happens-before edge for readers.
 type execState struct {
 	outs [][]*columns.Column
 	coll *metrics.Collector
 	mres *ops.MemReservation
+	snap *Snapshot
 }
 
 // in resolves a bound input reference against the execution state.
@@ -106,10 +109,30 @@ func (c *compiler) inputDesc(ref ColRef) (columns.FormatDesc, error) {
 // randomInput binds a project data input: if the column's bound format lacks
 // random access, an on-the-fly morph to static BP is compiled in (AutoMorph)
 // or the preparation fails (strict consistency, §3.3).
+//
+// A scanned base column gets the runtime-checked binding instead of a
+// prepare-time one: on a writable table the stored format can drift across a
+// remorph swap (the cost model re-picks it) and the merged main+delta view
+// may gain or lose random access relative to the format seen at prepare —
+// the closure re-checks the snapshot-resolved column and morphs only when
+// actually needed. The strict-consistency rule still applies to the format
+// known at prepare time.
 func (c *compiler) randomInput(ref ColRef) (func(es *execState) (*columns.Column, error), error) {
 	d, err := c.inputDesc(ref)
 	if err != nil {
 		return nil, err
+	}
+	if ref.node.op == OpScan {
+		if !formats.HasRandomAccess(d.Kind) && !c.opt.autoMorph {
+			return nil, fmt.Errorf("core: column %q needs random access but is %v (enable AutoMorph or choose uncompressed/static BP)", ref.Name(), d)
+		}
+		return func(es *execState) (*columns.Column, error) {
+			col := es.in(ref)
+			if formats.HasRandomAccess(col.Desc().Kind) {
+				return col, nil
+			}
+			return morph.Morph(col, columns.StaticBPDesc(0))
+		}, nil
 	}
 	if formats.HasRandomAccess(d.Kind) {
 		return func(es *execState) (*columns.Column, error) { return es.in(ref), nil }, nil
@@ -137,8 +160,17 @@ func (c *compiler) compile(n *Node) (boundNode, error) {
 		if err != nil {
 			return boundNode{}, err
 		}
-		return boundNode{n: n, run: func(*execState, ops.Runtime) ([]*columns.Column, error) {
-			return []*columns.Column{col}, nil
+		table, column := n.table, n.column
+		return boundNode{n: n, run: func(es *execState, _ ops.Runtime) ([]*columns.Column, error) {
+			// A writable table is read at the execution's pinned snapshot:
+			// the merged main+delta view of that epoch. Read-only tables (and
+			// read-only engines, where the snapshot is nil) hand out the
+			// prepare-bound column unchanged.
+			sc, err := es.snap.columnOr(col, table, column)
+			if err != nil {
+				return nil, err
+			}
+			return []*columns.Column{sc}, nil
 		}}, nil
 	case OpSelect:
 		d, err := c.outDesc(n.outNames[0])

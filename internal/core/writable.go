@@ -1,0 +1,452 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"morphstore/internal/columns"
+	"morphstore/internal/costmodel"
+	"morphstore/internal/delta"
+	"morphstore/internal/faultpoint"
+	"morphstore/internal/formats"
+	"morphstore/internal/metrics"
+	"morphstore/internal/ops"
+	"morphstore/internal/stats"
+)
+
+// This file implements the engine's writable-table layer on top of
+// internal/delta: Append/Delete mutate a per-table delta store, Snapshot
+// pins the consistent main+delta view every execution reads (execute() pins
+// one at admission), and Remorph — called directly or by the background
+// worker WithRemorph starts — folds a table's delta into a freshly
+// compressed main chosen by the cost model, atomically swapped in while
+// in-flight queries finish on the states they pinned.
+
+// WithRemorph starts the engine's background remorph worker: every interval
+// it scans the writable tables and rebuilds any whose delta (tail rows plus
+// pending deletions) has reached threshold times the main row count
+// (threshold <= 0 means any non-empty delta). Each rebuild rescans main plus
+// delta off the hot path, re-picks every column's format with the cost model,
+// compresses, and atomically swaps the new main in; queries already running
+// finish on their pinned snapshots. The worker registers its rebuilds with
+// the admission layer, so Engine.Close drains them like queries. Applies to
+// NewEngine.
+func WithRemorph(threshold float64, interval time.Duration) Option {
+	return Option{name: "WithRemorph", scope: scopeEngine, apply: func(o *options) {
+		o.remorphRatio, o.remorphEvery = threshold, interval
+	}}
+}
+
+// Snapshot is a consistent read view over the engine's tables: each writable
+// table is pinned at one delta state (epoch), and mutations or remorph swaps
+// that happen later are invisible through it. Executions pin a snapshot at
+// admission, so every operator of one query reads the same view. Tables
+// never written through Append/Delete are served from base storage
+// unchanged. A Snapshot is immutable and safe for concurrent use.
+type Snapshot struct {
+	states map[string]*delta.State
+}
+
+// Epoch returns the pinned delta epoch of a table (0 for tables without a
+// delta store). Every Append, Delete, and remorph swap increments a table's
+// epoch.
+func (s *Snapshot) Epoch(table string) uint64 {
+	if s == nil {
+		return 0
+	}
+	if st, ok := s.states[table]; ok {
+		return st.Epoch()
+	}
+	return 0
+}
+
+// Rows returns the live row count of a writable table at this snapshot; ok
+// is false for tables without a delta store.
+func (s *Snapshot) Rows(table string) (n int, ok bool) {
+	if s == nil {
+		return 0, false
+	}
+	st, found := s.states[table]
+	if !found {
+		return 0, false
+	}
+	return st.Rows(), true
+}
+
+// columnOr resolves a scan through the snapshot: writable tables serve the
+// pinned merged main+delta view, everything else the prepare-bound column.
+func (s *Snapshot) columnOr(fallback *columns.Column, table, column string) (*columns.Column, error) {
+	if s == nil {
+		return fallback, nil
+	}
+	st, ok := s.states[table]
+	if !ok {
+		return fallback, nil
+	}
+	return st.Column(column)
+}
+
+// writableTable pairs a table's delta store with the engine-side governor
+// bookkeeping: one reservation per append batch, tagged with the tail length
+// it ends at, released when a remorph folds the batch into the main. The
+// mutex guards only resv (the delta store locks itself).
+type writableTable struct {
+	dt *delta.Table
+
+	mu   sync.Mutex
+	resv []tailResv
+}
+
+// tailResv is one append batch's governor reservation.
+type tailResv struct {
+	tailEnd int // the table's tail length after the batch
+	r       *ops.MemReservation
+}
+
+// writable returns (creating on first use) the delta store of a table. The
+// first Append or Delete against a table makes it writable: from then on
+// every execution resolves the table's scans through its pinned snapshot.
+func (e *Engine) writable(name string) (*writableTable, error) {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	if wt, ok := e.wtabs[name]; ok {
+		return wt, nil
+	}
+	t, ok := e.db.Tables[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown table %q", name)
+	}
+	dt, err := delta.NewTable(name, t.Cols)
+	if err != nil {
+		return nil, err
+	}
+	wt := &writableTable{dt: dt}
+	e.wtabs[name] = wt
+	return wt, nil
+}
+
+// snapshotOrNil pins the current state of every writable table, or returns
+// nil when the engine has none (the read-only fast path: executions then
+// skip snapshot resolution entirely).
+func (e *Engine) snapshotOrNil() *Snapshot {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	if len(e.wtabs) == 0 {
+		return nil
+	}
+	m := make(map[string]*delta.State, len(e.wtabs))
+	for n, wt := range e.wtabs {
+		m[n] = wt.dt.State()
+	}
+	return &Snapshot{states: m}
+}
+
+// Snapshot pins the engine's current read view: each writable table at its
+// current delta epoch. The snapshot stays consistent forever — concurrent
+// Append/Delete calls and remorph swaps publish new states and never mutate
+// pinned ones. Executions pin their own snapshot at admission; Snapshot is
+// for callers that want to inspect epochs and row counts.
+func (e *Engine) Snapshot() *Snapshot {
+	if s := e.snapshotOrNil(); s != nil {
+		return s
+	}
+	return &Snapshot{}
+}
+
+// Append appends rows to a table's delta store: rows maps every column of
+// the table to equally long value slices (an error matching ErrInvalidSchema
+// otherwise; the table is unchanged). The rows are visible to every
+// execution admitted after Append returns; running executions keep their
+// pinned snapshots. Appends are serialized per table, cheap (no
+// re-compression — the remorph worker folds the delta in the background),
+// and their bytes are reserved from the engine's memory governor
+// (WithMemoryBudget): an append blocks under memory pressure until running
+// queries release or a remorph folds earlier batches, honouring ctx. After
+// Engine.Close, Append fails fast with ErrEngineClosed.
+func (e *Engine) Append(ctx context.Context, table string, rows map[string][]uint64) (err error) {
+	defer e.opGuard("append", &err)
+	if e.err != nil {
+		return e.err
+	}
+	exit, err := e.adm.enter()
+	if err != nil {
+		return err
+	}
+	defer exit()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stopKill := context.AfterFunc(e.killCtx, cancel)
+	defer stopKill()
+	wt, err := e.writable(table)
+	if err != nil {
+		return err
+	}
+	var nrows int
+	for _, vals := range rows {
+		nrows = len(vals)
+		break
+	}
+	mres, err := e.gov.Reserve(ctx, int64(nrows)*8*int64(len(rows)), nil)
+	if err != nil {
+		return err
+	}
+	st, n, err := wt.dt.Append(rows)
+	if err != nil || n == 0 {
+		mres.Release()
+		return err
+	}
+	wt.mu.Lock()
+	wt.resv = append(wt.resv, tailResv{tailEnd: st.TailRows(), r: mres})
+	wt.mu.Unlock()
+	e.counters.appends.Add(1)
+	e.counters.appendedRows.Add(int64(n))
+	return nil
+}
+
+// Delete removes rows from a table by their current live position (0-based
+// row numbers as a fresh query would see them). Duplicates are deleted once;
+// an out-of-range position is an error and nothing is deleted. Deletions are
+// applied as a mask at read time and folded into the main by the next
+// remorph. Executions admitted after Delete returns see the rows gone;
+// running executions keep their pinned snapshots. After Engine.Close, Delete
+// fails fast with ErrEngineClosed.
+func (e *Engine) Delete(ctx context.Context, table string, positions []uint64) (err error) {
+	defer e.opGuard("delete", &err)
+	if e.err != nil {
+		return e.err
+	}
+	exit, err := e.adm.enter()
+	if err != nil {
+		return err
+	}
+	defer exit()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stopKill := context.AfterFunc(e.killCtx, cancel)
+	defer stopKill()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	wt, err := e.writable(table)
+	if err != nil {
+		return err
+	}
+	_, n, err := wt.dt.Delete(positions)
+	if err != nil {
+		return err
+	}
+	e.counters.deletes.Add(1)
+	e.counters.deletedRows.Add(int64(n))
+	return nil
+}
+
+// Remorph folds a table's delta into a freshly compressed main immediately
+// (the background worker runs the same pass on its own schedule): the live
+// rows are rescanned at a pinned state, each column's format is re-picked by
+// the cost model over the paper's formats, and the new main is atomically
+// swapped in. Queries already running finish on their pinned snapshots — the
+// swap never blocks them — and mutations that arrive during the rebuild
+// survive it as the new delta. A table with an empty delta, or one whose
+// rebuild is already running, is a no-op. After Engine.Close, Remorph fails
+// fast with ErrEngineClosed.
+func (e *Engine) Remorph(ctx context.Context, table string) (err error) {
+	defer e.opGuard("remorph", &err)
+	if e.err != nil {
+		return e.err
+	}
+	exit, err := e.adm.enter()
+	if err != nil {
+		return err
+	}
+	defer exit()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stopKill := context.AfterFunc(e.killCtx, cancel)
+	defer stopKill()
+	wt, err := e.writable(table)
+	if err != nil {
+		return err
+	}
+	return e.remorphTable(ctx, wt)
+}
+
+// remorphTable runs one rebuild+swap attempt against a writable table. The
+// caller holds an admission registration; remorphTable claims the table's
+// rebuild slot (no-op when taken or the delta is empty), rebuilds every
+// column off the hot path, and completes the swap under the table mutex. A
+// failure — cancellation, a compression error, an injected RemorphSwap
+// fault — aborts the attempt with the old state intact; the worker retries
+// on its next tick.
+func (e *Engine) remorphTable(ctx context.Context, wt *writableTable) (err error) {
+	s0, ok := wt.dt.BeginRebuild()
+	if !ok {
+		return nil
+	}
+	defer wt.dt.EndRebuild()
+	start := time.Now()
+	var span metrics.Span
+	tr := e.defs.tracer
+	if tr != nil {
+		span = metrics.Span{Query: metrics.ReserveQueryID(), Node: -1, Name: wt.dt.Name(), Op: "remorph"}
+		tr.Begin(span, start)
+		defer func() {
+			ns := metrics.NodeStats{Node: -1, Name: wt.dt.Name(), Op: "remorph",
+				Started: true, Done: err == nil, Wall: time.Since(start)}
+			if err != nil {
+				ns.Err = err.Error()
+			}
+			tr.End(span, time.Now(), ns)
+		}()
+	}
+	defer func() {
+		if err != nil {
+			e.counters.remorphFailed.Add(1)
+		}
+	}()
+	newMain := make(map[string]*columns.Column, len(wt.dt.Columns()))
+	for _, cn := range wt.dt.Columns() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		vals, err := s0.LiveValues(cn)
+		if err != nil {
+			return err
+		}
+		desc := columns.UncomprDesc
+		if len(vals) > 0 {
+			if d, err := costmodel.ChooseBySize(stats.Collect(vals), formats.PaperDescs()); err == nil {
+				desc = d
+			}
+		}
+		col, err := formats.Compress(vals, desc)
+		if err != nil {
+			return fmt.Errorf("core: remorph %q.%q: %w", wt.dt.Name(), cn, err)
+		}
+		newMain[cn] = col
+	}
+	if err := hitGuarded(faultpoint.RemorphSwap); err != nil {
+		return err
+	}
+	res, err := wt.dt.CompleteRebuild(s0, newMain)
+	if err != nil {
+		return err
+	}
+	wt.releaseFolded(res.FoldedTail)
+	e.counters.remorphs.Add(1)
+	e.counters.remorphRows.Add(int64(res.State.MainRows()))
+	if tr != nil {
+		tr.Event(span, time.Now(),
+			metrics.Event{Kind: metrics.EvRemorphSwap, Value: int64(res.FoldedTail + res.FoldedDeletes)})
+	}
+	return nil
+}
+
+// releaseFolded returns the governor reservations of append batches the swap
+// folded into the main (batch boundaries align with fold boundaries: both
+// are published tail lengths) and rebases the survivors onto the new tail
+// numbering.
+func (wt *writableTable) releaseFolded(folded int) {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	keep := wt.resv[:0]
+	for _, r := range wt.resv {
+		if r.tailEnd <= folded {
+			r.r.Release()
+		} else {
+			r.tailEnd -= folded
+			keep = append(keep, r)
+		}
+	}
+	wt.resv = keep
+}
+
+// releaseDeltaReservations returns every writable table's outstanding
+// governor reservations; Close calls it after the drain so a closed engine
+// holds no reservations.
+func (e *Engine) releaseDeltaReservations() {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	for _, wt := range e.wtabs {
+		wt.mu.Lock()
+		for _, r := range wt.resv {
+			r.r.Release()
+		}
+		wt.resv = nil
+		wt.mu.Unlock()
+	}
+}
+
+// remorphLoop is the background worker WithRemorph starts: on every tick it
+// sweeps the writable tables and rebuilds the over-threshold ones. It exits
+// when Close signals remorphStop.
+func (e *Engine) remorphLoop() {
+	defer close(e.remorphDone)
+	t := time.NewTicker(e.remorphEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.remorphStop:
+			return
+		case <-t.C:
+			e.remorphSweep()
+		}
+	}
+}
+
+// remorphSweep runs one worker pass: every writable table whose delta
+// crossed the threshold is rebuilt, each rebuild registered with the
+// admission layer (so Close drains it) and cancelled through killCtx when
+// Close abandons the graceful drain. Errors are counted (remorphFailed) and
+// retried on the next tick.
+func (e *Engine) remorphSweep() {
+	e.wmu.Lock()
+	wts := make([]*writableTable, 0, len(e.wtabs))
+	for _, wt := range e.wtabs {
+		wts = append(wts, wt)
+	}
+	e.wmu.Unlock()
+	for _, wt := range wts {
+		if !remorphDue(wt.dt.State(), e.remorphRatio) {
+			continue
+		}
+		exit, err := e.adm.enter()
+		if err != nil {
+			return // engine closed
+		}
+		func() {
+			defer exit()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			stopKill := context.AfterFunc(e.killCtx, cancel)
+			defer stopKill()
+			var rerr error
+			defer e.opGuard("remorph", &rerr)
+			rerr = e.remorphTable(ctx, wt)
+		}()
+	}
+}
+
+// remorphDue reports whether a table's delta has crossed the rebuild
+// threshold: tail rows plus pending deletions at ratio times the main rows
+// (ratio <= 0: any non-empty delta; an empty main folds on any delta).
+func remorphDue(st *delta.State, ratio float64) bool {
+	pending := st.TailRows() + st.DeletedRows()
+	if pending == 0 {
+		return false
+	}
+	if ratio <= 0 || st.MainRows() == 0 {
+		return true
+	}
+	return float64(pending) >= ratio*float64(st.MainRows())
+}

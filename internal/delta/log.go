@@ -1,0 +1,246 @@
+package delta
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"morphstore/internal/columns"
+	"morphstore/internal/qerr"
+)
+
+// This file implements the delta append-log wire codec: the journal a Table
+// keeps of every mutation since its last remorph swap. Each record is
+// length-prefixed and checksummed, so a truncated or bit-flipped journal is
+// detected deterministically — the decoder never panics and classifies every
+// structural defect as qerr.ErrCorruptData (FuzzDeltaLog drives this
+// contract). Replay applies a journal onto a table's main columns,
+// reproducing the delta it recorded.
+//
+// Record layout (little-endian):
+//
+//	u8  kind        recAppend | recDelete
+//	u32 payloadLen  bytes of payload
+//	[]  payload
+//	u64 checksum    FNV-1a over kind, payloadLen, payload
+//
+// Append payload: u32 ncols, u32 nrows, then per column (sorted by name):
+// u16 name length, name bytes, nrows u64 values. Delete payload: u32 count,
+// then count u64 absolute positions (strictly ascending).
+const (
+	recAppend = 1
+	recDelete = 2
+
+	recHeaderLen   = 5 // kind + payload length
+	recChecksumLen = 8
+)
+
+// corrupt wraps a journal decoding defect with the corruption sentinel.
+func corrupt(format string, args ...any) error {
+	return qerr.Tag(fmt.Errorf("delta: journal: "+format, args...), qerr.ErrCorruptData)
+}
+
+// fnv1a is the 64-bit FNV-1a hash the record checksums use.
+func fnv1a(seed uint64, b []byte) uint64 {
+	h := seed
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+const fnvOffset = 14695981039346656037
+
+// appendRecord frames one record: header, payload, checksum.
+func appendRecord(dst []byte, kind byte, payload []byte) []byte {
+	var hdr [recHeaderLen]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	sum := fnv1a(fnv1a(fnvOffset, hdr[:]), payload)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint64(dst, sum)
+}
+
+// encodeAppend appends an append record for n rows of the given columns.
+func encodeAppend(dst []byte, cols []string, rows map[string][]uint64, n int) []byte {
+	payload := binary.LittleEndian.AppendUint32(nil, uint32(len(cols)))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(n))
+	for _, cn := range cols {
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(cn)))
+		payload = append(payload, cn...)
+		for _, v := range rows[cn][:n] {
+			payload = binary.LittleEndian.AppendUint64(payload, v)
+		}
+	}
+	return appendRecord(dst, recAppend, payload)
+}
+
+// encodeDelete appends a delete record for the sorted absolute positions.
+func encodeDelete(dst []byte, abs []uint64) []byte {
+	payload := binary.LittleEndian.AppendUint32(nil, uint32(len(abs)))
+	for _, p := range abs {
+		payload = binary.LittleEndian.AppendUint64(payload, p)
+	}
+	return appendRecord(dst, recDelete, payload)
+}
+
+// record is one decoded journal record: an append batch (Rows) or a delete
+// set (Deleted).
+type record struct {
+	kind    byte
+	rows    map[string][]uint64 // recAppend: per-column values
+	n       int                 // recAppend: row count
+	deleted []uint64            // recDelete: absolute positions, ascending
+}
+
+// readRecord decodes the first record of b and returns the remaining bytes.
+// Every defect — truncation, a bad checksum, an unknown kind, inconsistent
+// counts — is an error matching qerr.ErrCorruptData; readRecord never
+// panics and never allocates proportionally to an unvalidated length field.
+func readRecord(b []byte) (record, []byte, error) {
+	if len(b) < recHeaderLen+recChecksumLen {
+		return record{}, nil, corrupt("truncated record header (%d bytes)", len(b))
+	}
+	kind := b[0]
+	plen := int(binary.LittleEndian.Uint32(b[1:recHeaderLen]))
+	if plen > len(b)-recHeaderLen-recChecksumLen {
+		return record{}, nil, corrupt("truncated record payload (%d of %d bytes)", len(b)-recHeaderLen-recChecksumLen, plen)
+	}
+	payload := b[recHeaderLen : recHeaderLen+plen]
+	sum := binary.LittleEndian.Uint64(b[recHeaderLen+plen:])
+	if want := fnv1a(fnv1a(fnvOffset, b[:recHeaderLen]), payload); sum != want {
+		return record{}, nil, corrupt("checksum mismatch")
+	}
+	rest := b[recHeaderLen+plen+recChecksumLen:]
+	switch kind {
+	case recAppend:
+		rec, err := decodeAppend(payload)
+		return rec, rest, err
+	case recDelete:
+		rec, err := decodeDelete(payload)
+		return rec, rest, err
+	}
+	return record{}, nil, corrupt("unknown record kind %d", kind)
+}
+
+// decodeAppend parses an append payload.
+func decodeAppend(p []byte) (record, error) {
+	if len(p) < 8 {
+		return record{}, corrupt("append record: truncated counts")
+	}
+	ncols := int(binary.LittleEndian.Uint32(p))
+	n := int(binary.LittleEndian.Uint32(p[4:]))
+	p = p[8:]
+	// The column count is unvalidated input: cap the map size hint, the loop
+	// itself is bounded by the payload length checks.
+	rows := make(map[string][]uint64, min(ncols, 64))
+	for c := 0; c < ncols; c++ {
+		if len(p) < 2 {
+			return record{}, corrupt("append record: truncated column name length")
+		}
+		nameLen := int(binary.LittleEndian.Uint16(p))
+		p = p[2:]
+		if len(p) < nameLen {
+			return record{}, corrupt("append record: truncated column name")
+		}
+		name := string(p[:nameLen])
+		p = p[nameLen:]
+		if len(p) < n*8 {
+			return record{}, corrupt("append record: column %q has %d bytes of values, want %d", name, len(p), n*8)
+		}
+		if _, ok := rows[name]; ok {
+			return record{}, corrupt("append record: duplicate column %q", name)
+		}
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = binary.LittleEndian.Uint64(p[i*8:])
+		}
+		rows[name] = vals
+		p = p[n*8:]
+	}
+	if len(p) != 0 {
+		return record{}, corrupt("append record: %d trailing payload bytes", len(p))
+	}
+	if n == 0 {
+		return record{}, corrupt("append record: zero rows")
+	}
+	return record{kind: recAppend, rows: rows, n: n}, nil
+}
+
+// decodeDelete parses a delete payload.
+func decodeDelete(p []byte) (record, error) {
+	if len(p) < 4 {
+		return record{}, corrupt("delete record: truncated count")
+	}
+	count := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if len(p) != count*8 {
+		return record{}, corrupt("delete record: %d bytes of positions, want %d", len(p), count*8)
+	}
+	if count == 0 {
+		return record{}, corrupt("delete record: zero positions")
+	}
+	abs := make([]uint64, count)
+	for i := range abs {
+		abs[i] = binary.LittleEndian.Uint64(p[i*8:])
+		if i > 0 && abs[i] <= abs[i-1] {
+			return record{}, corrupt("delete record: positions not strictly ascending")
+		}
+	}
+	return record{kind: recDelete, deleted: abs}, nil
+}
+
+// Replay rebuilds a writable table from its main columns and a journal
+// previously returned by Table.Journal: the returned table holds the same
+// delta (tail, deletions, journal) the source table had. A journal that is
+// truncated, bit-flipped, or inconsistent with main returns an error
+// matching qerr.ErrCorruptData; Replay never panics on hostile input.
+func Replay(name string, main map[string]*columns.Column, journal []byte) (*Table, error) {
+	t, err := NewTable(name, main)
+	if err != nil {
+		return nil, err
+	}
+	for len(journal) > 0 {
+		rec, rest, err := readRecord(journal)
+		if err != nil {
+			return nil, err
+		}
+		journal = rest
+		if err := t.replay(rec); err != nil {
+			return nil, qerr.Tag(err, qerr.ErrCorruptData)
+		}
+	}
+	return t, nil
+}
+
+// replay applies one decoded record to the table. Append records reuse the
+// validated Append path; delete records carry absolute positions and splice
+// directly into the deletion set.
+func (t *Table) replay(rec record) error {
+	if rec.kind == recAppend {
+		_, _, err := t.Append(rec.rows)
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.cur.Load()
+	total := uint64(s.mainRows + s.tailRows)
+	di := 0
+	for _, d := range rec.deleted {
+		if d >= total {
+			return fmt.Errorf("delta: journal: delete position %d out of range (%d rows)", d, total)
+		}
+		for di < len(s.deleted) && s.deleted[di] < d {
+			di++
+		}
+		if di < len(s.deleted) && s.deleted[di] == d {
+			return fmt.Errorf("delta: journal: position %d deleted twice", d)
+		}
+	}
+	t.journal = encodeDelete(t.journal, rec.deleted)
+	nd := mergeSorted(s.deleted, rec.deleted)
+	ns := newState(s.epoch+1, s.main, s.mainRows, t.cols, s.tail, s.tailRows, nd)
+	t.cur.Store(ns)
+	return nil
+}

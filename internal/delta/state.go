@@ -1,0 +1,233 @@
+// Package delta implements the writable-table layer of the engine: a
+// per-table delta store in the hot/cold style of hybrid OLTP/OLAP systems
+// (Funke et al.) and of MorphStore's own main/remainder column split.
+//
+// Each writable table is a Table: an immutable compressed main part (the
+// columns the read-only engine already serves) plus a delta — an append-only
+// uncompressed tail per column and a sorted set of deleted absolute
+// positions. Mutations (Append, Delete) are serialized per table and publish
+// a new immutable State through an atomic pointer; readers load a State once
+// (a snapshot) and see a frozen main+delta view forever after, regardless of
+// concurrent mutations or remorph swaps. Every mutation is also journaled in
+// a checksummed wire format (log.go) so a table's delta can be replayed onto
+// its main.
+//
+// Reads go through State.Column, which merges main and delta into a single
+// ordinary column: with no deletions, blocked formats (DynBP, DeltaBP,
+// ForBP) and uncompressed mains take the extended-remainder fast path — the
+// tail is appended to the column's uncompressed remainder, so the compressed
+// main words are reused byte-for-byte — while whole-column formats
+// (StaticBP, RLE) and any state with deletions materialize a compacted
+// uncompressed column. Merged views are cached per State, so concurrent
+// queries at one epoch share them. A State with an empty delta hands out the
+// main column itself: the writable path then costs one nil check per scan.
+//
+// A background remorph (driven by the engine) folds the delta back into a
+// freshly compressed main: BeginRebuild pins the current State, the caller
+// rebuilds each column off the hot path from State.LiveValues, and
+// CompleteRebuild atomically swaps the new main in — remapping the tail rows
+// and deletions that arrived during the rebuild — while in-flight readers
+// finish on the State they pinned.
+package delta
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"morphstore/internal/columns"
+	"morphstore/internal/faultpoint"
+	"morphstore/internal/formats"
+)
+
+// State is one immutable snapshot of a writable table: the compressed main
+// columns, the uncompressed delta tail, and the deletion set at one epoch.
+// Loading a State pins the view — later mutations and remorph swaps publish
+// new States and never touch an old one — so any number of readers can share
+// a State concurrently. Merged main+delta views are built lazily and cached
+// per column.
+type State struct {
+	epoch    uint64
+	main     map[string]*columns.Column
+	mainRows int
+	cols     []string            // sorted column names
+	tail     map[string][]uint64 // fixed-length views over the append-only backing
+	tailRows int
+	deleted  []uint64 // sorted absolute positions in [0, mainRows+tailRows)
+
+	merged *mergeCache
+}
+
+// Epoch returns the state's version number; every Append, Delete, and
+// completed remorph swap increments it.
+func (s *State) Epoch() uint64 { return s.epoch }
+
+// Rows returns the live row count: main plus tail minus deletions.
+func (s *State) Rows() int { return s.mainRows + s.tailRows - len(s.deleted) }
+
+// MainRows returns the row count of the compressed main part.
+func (s *State) MainRows() int { return s.mainRows }
+
+// TailRows returns the row count of the uncompressed delta tail.
+func (s *State) TailRows() int { return s.tailRows }
+
+// DeletedRows returns the number of pending deletions (positions deleted
+// since the last remorph fold).
+func (s *State) DeletedRows() int { return len(s.deleted) }
+
+// Columns returns the table's column names in sorted order.
+func (s *State) Columns() []string { return s.cols }
+
+// DeltaBytes returns the delta's data footprint at this state: tail words
+// plus the deletion set (8 bytes per entry).
+func (s *State) DeltaBytes() int64 {
+	return int64(s.tailRows)*8*int64(len(s.cols)) + int64(len(s.deleted))*8
+}
+
+// Column returns the merged main+delta view of one column as an ordinary
+// column. With an empty delta it is the stored main column itself (no copy,
+// no allocation); otherwise the merged view is built on first access at this
+// state and cached, so concurrent readers at one epoch share it.
+func (s *State) Column(name string) (*columns.Column, error) {
+	main, ok := s.main[name]
+	if !ok {
+		return nil, fmt.Errorf("delta: unknown column %q", name)
+	}
+	if s.tailRows == 0 && len(s.deleted) == 0 {
+		return main, nil
+	}
+	s.merged.mu.Lock()
+	defer s.merged.mu.Unlock()
+	if c, ok := s.merged.cols[name]; ok {
+		return c, nil
+	}
+	if err := faultpoint.DeltaMerge.Hit(); err != nil {
+		return nil, fmt.Errorf("delta: merge %q: %w", name, err)
+	}
+	c, err := s.merge(name, main)
+	if err != nil {
+		return nil, err
+	}
+	s.merged.cols[name] = c
+	return c, nil
+}
+
+// LiveValues returns the column's live values at this state in row order:
+// main then tail, with deleted positions dropped. The slice is freshly
+// allocated; callers own it (the remorph rebuild compresses it in place).
+func (s *State) LiveValues(name string) ([]uint64, error) {
+	main, ok := s.main[name]
+	if !ok {
+		return nil, fmt.Errorf("delta: unknown column %q", name)
+	}
+	return s.liveValues(name, main)
+}
+
+// mergeCache holds a state's lazily built merged views. It lives behind a
+// pointer so State itself stays immutable and copyable.
+type mergeCache struct {
+	mu   sync.Mutex
+	cols map[string]*columns.Column
+}
+
+// merge builds the merged main+delta view of one column. With no deletions,
+// formats whose readers accept an arbitrary-length uncompressed remainder
+// (uncompressed itself and the 512-block formats) reuse the compressed main
+// words and extend the remainder with the tail; whole-column formats
+// (StaticBP packs every element, RLE has no remainder) and any state with
+// deletions compact into a fresh uncompressed column.
+func (s *State) merge(name string, main *columns.Column) (*columns.Column, error) {
+	if len(s.deleted) == 0 {
+		tail := s.tail[name]
+		switch main.Desc().Kind {
+		case columns.Uncompressed:
+			buf := make([]uint64, 0, main.N()+len(tail))
+			buf = append(append(buf, main.Words()...), tail...)
+			return columns.FromValues(buf), nil
+		case columns.DynBP, columns.DeltaBP, columns.ForBP:
+			// The blocked readers treat everything past the main part as raw
+			// words (DeltaBP/ForBP remainders store absolute values), so the
+			// tail rides as an extended remainder on the unchanged main.
+			w := main.Words()
+			buf := make([]uint64, 0, len(w)+len(tail))
+			buf = append(append(buf, w...), tail...)
+			return columns.New(main.Desc(), main.N()+len(tail), main.MainElems(), len(main.MainWords()), buf)
+		}
+	}
+	vals, err := s.liveValues(name, main)
+	if err != nil {
+		return nil, err
+	}
+	return columns.FromValues(vals), nil
+}
+
+// liveValues gathers the column's live values: main then tail, deletions
+// dropped.
+func (s *State) liveValues(name string, main *columns.Column) ([]uint64, error) {
+	base, ok := main.Values()
+	if !ok {
+		var err error
+		if base, err = formats.Decompress(main); err != nil {
+			return nil, fmt.Errorf("delta: %q: %w", name, err)
+		}
+	}
+	tail := s.tail[name]
+	total := s.mainRows + s.tailRows
+	out := make([]uint64, 0, total-len(s.deleted))
+	di := 0
+	for i := 0; i < total; i++ {
+		if di < len(s.deleted) && s.deleted[di] == uint64(i) {
+			di++
+			continue
+		}
+		if i < s.mainRows {
+			out = append(out, base[i])
+		} else {
+			out = append(out, tail[i-s.mainRows])
+		}
+	}
+	return out, nil
+}
+
+// liveToAbs maps a live row number to its absolute position under the sorted
+// deletion set: each deletion at or before the running position shifts it up.
+func liveToAbs(p uint64, deleted []uint64) uint64 {
+	for _, d := range deleted {
+		if d <= p {
+			p++
+		} else {
+			break
+		}
+	}
+	return p
+}
+
+// mergeSorted unions two sorted uint64 slices (both duplicate-free, disjoint
+// by construction) into a fresh sorted slice.
+func mergeSorted(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// sortedUnique sorts vals ascending and drops duplicates in place.
+func sortedUnique(vals []uint64) []uint64 {
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	out := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

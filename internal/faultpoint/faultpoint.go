@@ -52,9 +52,20 @@ var (
 	// CloseDrain fires at the head of Engine.Close, after admission stops
 	// accepting new work and before the drain wait begins.
 	CloseDrain = newPoint("close-drain")
+	// AppendLog fires in a writable table's mutation path (Append/Delete),
+	// after validation and before the journal record and delta state are
+	// written — a failing hit leaves the table unchanged.
+	AppendLog = newPoint("append-log")
+	// DeltaMerge fires when a snapshot materializes the merged main+delta
+	// view of one column (the first read of that column at that epoch).
+	DeltaMerge = newPoint("delta-merge")
+	// RemorphSwap fires after a background remorph rebuilt a table's columns
+	// and before the new main is atomically published — a failing hit aborts
+	// the swap and leaves the old state in place.
+	RemorphSwap = newPoint("remorph-swap")
 )
 
-var points = []*Point{MorselClaim, KernelBody, StitchSeam, ConcatFixup, BudgetRedivide, GroupMerge, AdmissionEnqueue, CloseDrain}
+var points = []*Point{MorselClaim, KernelBody, StitchSeam, ConcatFixup, BudgetRedivide, GroupMerge, AdmissionEnqueue, CloseDrain, AppendLog, DeltaMerge, RemorphSwap}
 
 func newPoint(name string) *Point { return &Point{name: name} }
 

@@ -28,6 +28,12 @@ const (
 	// memory governor at admission; Value is the reservation size. Emitted
 	// on the query-level span.
 	EvMemReserve = "mem_reserve"
+	// EvRemorphSwap reports a completed background remorph: a writable
+	// table's delta was folded into a freshly compressed main and atomically
+	// swapped in; Value is the folded row count (tail rows + deletions).
+	// Emitted on a table-level pseudo-span (Node == -1, Op == "remorph",
+	// Name == the table).
+	EvRemorphSwap = "remorph_swap"
 )
 
 // Span identifies one operator of one execution in a trace stream. The
@@ -48,7 +54,7 @@ type Span struct {
 // Event is a point-in-time occurrence within a span (see the Ev* kinds).
 type Event struct {
 	// Kind names the event (EvLease, EvSeqFallback, EvAdmissionWait,
-	// EvAdmissionShed, EvMemReserve).
+	// EvAdmissionShed, EvMemReserve, EvRemorphSwap).
 	Kind string `json:"kind"`
 	// Value is the event's payload (e.g. the new lease limit).
 	Value int64 `json:"value"`

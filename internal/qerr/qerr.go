@@ -8,6 +8,9 @@
 //   - ErrCorruptData: structurally invalid compressed data (the codec layer
 //     wraps formats.ErrCorrupt around this sentinel, so every corruption
 //     error anywhere in the engine matches it through the wrap chain),
+//   - ErrInvalidSchema: malformed base data handed to the engine — ragged
+//     column lengths, a duplicate table registration, or an append whose
+//     rows do not match the table's column set,
 //   - ErrQueryCanceled / ErrQueryTimeout: the execution context was
 //     cancelled or hit its deadline,
 //   - ErrMemoryLimit: the prepare-time memory estimate exceeded the
@@ -41,6 +44,11 @@ var (
 	// ErrCorruptData reports structurally invalid compressed data: an
 	// out-of-range bit width, a truncated block, an overflowing run length.
 	ErrCorruptData = errors.New("corrupt compressed data")
+	// ErrInvalidSchema reports malformed base data handed to the engine:
+	// ragged column lengths, a duplicate table registration, or an append
+	// whose rows do not match the table's column set. The call changed
+	// nothing; fix the data and retry.
+	ErrInvalidSchema = errors.New("invalid table schema")
 	// ErrQueryCanceled reports an execution stopped by context cancellation.
 	ErrQueryCanceled = errors.New("query canceled")
 	// ErrQueryTimeout reports an execution stopped by a context deadline

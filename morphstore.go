@@ -21,6 +21,7 @@
 //	internal/morph     format morphing
 //	internal/ops       physical query operators
 //	internal/core      plans, format configurations, execution, search
+//	internal/delta     writable-table delta stores, snapshots, remorph
 //	internal/stats     data-characteristics collection
 //	internal/costmodel gray-box cost model for format selection
 //	internal/ssb       Star Schema Benchmark substrate
