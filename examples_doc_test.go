@@ -99,6 +99,46 @@ func TestREADMEWriteSnippet(t *testing.T) {
 	}
 }
 
+// TestREADMEIngestSnippet compiles and runs the README "String columns &
+// ingest" example.
+func TestREADMEIngestSnippet(t *testing.T) {
+	ctx := context.Background()
+
+	// doc-snippet:readme-ingest README.md
+	csv := "nation,revenue\nFRANCE,10\nGERMANY,20\nFRANCE,30\n"
+	idb := morphstore.NewDB()
+	ieng := morphstore.NewEngine(idb, morphstore.WithParallelism(4))
+	rows, ierr := morphstore.Ingest(ctx, ieng, "sales",
+		morphstore.NewCSVSource(strings.NewReader(csv))) // sniffs types, builds the dict
+	ib := morphstore.NewPlanBuilder()
+	fr := ib.SelectStrEq("fr", ib.Scan("sales", "nation"), "FRANCE")
+	ib.Result(ib.Project("rev", ib.Scan("sales", "revenue"), fr))
+	iplan, _ := ib.Build()
+	iq, _ := ieng.Prepare(iplan, morphstore.WithCostBasedFormats())
+	ires, _ := iq.Execute(ctx)
+	// end-doc-snippet
+
+	if ierr != nil || rows != 3 {
+		t.Fatalf("ingest = %d rows, %v; want 3, nil", rows, ierr)
+	}
+	if ires == nil || ires.Cols["rev"] == nil {
+		t.Fatal("ingest query produced no result column")
+	}
+	got, err := morphstore.Decompress(ires.Cols["rev"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 10 || got[1] != 30 {
+		t.Fatalf("FRANCE revenues = %v, want [10 30]", got)
+	}
+	if ds := ieng.Snapshot().Dict("sales", "nation"); ds == nil || ds.Len() != 2 {
+		t.Fatalf("dictionary snapshot = %v, want 2 entries", ds)
+	}
+	if err := ieng.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
 // TestArchitectureGroupingSnippet compiles and runs the grouped-aggregation
 // example from docs/ARCHITECTURE.md.
 func TestArchitectureGroupingSnippet(t *testing.T) {

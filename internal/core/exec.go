@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"morphstore/internal/columns"
+	"morphstore/internal/dict"
 	"morphstore/internal/formats"
 	"morphstore/internal/morph"
 	"morphstore/internal/qerr"
@@ -16,6 +17,11 @@ import (
 type Table struct {
 	Name string
 	Cols map[string]*columns.Column
+	// Dicts holds the per-column string dictionaries of the table's
+	// dictionary-encoded columns (AddStringColumn): for each entry, Cols of
+	// the same name is the uint64 ID column the engine compresses and
+	// executes, and the dictionary translates between strings and IDs.
+	Dicts map[string]*dict.Dict
 }
 
 // DB is the base data a plan executes against.
@@ -50,6 +56,57 @@ func (db *DB) AddTable(name string, cols map[string][]uint64) error {
 	return nil
 }
 
+// AddStringColumn adds a dictionary-encoded string column: values are
+// translated through a fresh per-column dictionary (IDs in first-occurrence
+// order) and stored as an uncompressed uint64 ID column. If the table does
+// not exist it is created with this as its first column; otherwise the
+// column name must be new and len(values) must match the table's row count.
+// Violations return an error matching qerr.ErrInvalidSchema and change
+// nothing.
+func (db *DB) AddStringColumn(table, column string, values []string) error {
+	t, ok := db.Tables[table]
+	if !ok {
+		t = &Table{Name: table, Cols: make(map[string]*columns.Column)}
+	}
+	if _, dup := t.Cols[column]; dup {
+		return qerr.Tag(fmt.Errorf("core: table %q already has column %q", table, column), qerr.ErrInvalidSchema)
+	}
+	for cn, col := range t.Cols {
+		if col.N() != len(values) {
+			return qerr.Tag(
+				fmt.Errorf("core: table %q: ragged columns: %q has %d values, %q has %d", table, column, len(values), cn, col.N()),
+				qerr.ErrInvalidSchema)
+		}
+		break
+	}
+	d := dict.New()
+	ids, err := d.Add(values)
+	if err != nil {
+		return err
+	}
+	if ids == nil {
+		ids = []uint64{}
+	}
+	if t.Dicts == nil {
+		t.Dicts = make(map[string]*dict.Dict)
+	}
+	t.Cols[column] = columns.FromValues(ids)
+	t.Dicts[column] = d
+	db.Tables[table] = t
+	return nil
+}
+
+// Dict returns the dictionary of a dictionary-encoded string column, or nil
+// when the table or column is unknown or the column is a plain uint64
+// column.
+func (db *DB) Dict(table, column string) *dict.Dict {
+	t, ok := db.Tables[table]
+	if !ok {
+		return nil
+	}
+	return t.Dicts[column]
+}
+
 // Column resolves "table"/"column"; it reports an error for unknown names.
 func (db *DB) Column(table, column string) (*columns.Column, error) {
 	t, ok := db.Tables[table]
@@ -70,7 +127,7 @@ func (db *DB) Column(table, column string) (*columns.Column, error) {
 func (db *DB) Encode(base map[string]columns.FormatDesc) (*DB, error) {
 	out := NewDB()
 	for tn, t := range db.Tables {
-		nt := &Table{Name: tn, Cols: make(map[string]*columns.Column, len(t.Cols))}
+		nt := &Table{Name: tn, Cols: make(map[string]*columns.Column, len(t.Cols)), Dicts: t.Dicts}
 		for cn, col := range t.Cols {
 			desc, ok := base[tn+"."+cn]
 			if !ok {

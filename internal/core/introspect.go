@@ -24,6 +24,9 @@ type NodeInfo struct {
 	Val2     uint64
 	Table    string
 	Column   string
+	StrKind  StrPredKind // OpSelectStr: the predicate flavor
+	StrVal   string      // OpSelectStr: the eq/prefix value
+	StrVals  []string    // OpSelectStr: the IN values
 	Inputs   []InputRef
 	OutNames []string
 }
@@ -39,7 +42,9 @@ func (p *Plan) Nodes() []NodeInfo {
 		out[i] = NodeInfo{
 			ID: n.id, Op: n.op, Cmp: n.cmp, Calc: n.calc,
 			Val: n.val, Val2: n.val2, Table: n.table, Column: n.column,
-			Inputs: ins, OutNames: append([]string(nil), n.outNames...),
+			StrKind: n.strKind, StrVal: n.strVal,
+			StrVals: append([]string(nil), n.strVals...),
+			Inputs:  ins, OutNames: append([]string(nil), n.outNames...),
 		}
 	}
 	return out

@@ -33,7 +33,7 @@ func planCardinality(p *Plan, db *DB) ([][]int, error) {
 				return nil, err
 			}
 			card[i] = []int{col.N()}
-		case OpSelect, OpBetween:
+		case OpSelect, OpBetween, OpSelectStr:
 			card[i] = []int{in(0)}
 		case OpProject:
 			card[i] = []int{in(1)}

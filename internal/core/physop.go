@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"morphstore/internal/bitutil"
 	"morphstore/internal/columns"
 	"morphstore/internal/formats"
 	"morphstore/internal/metrics"
@@ -305,6 +306,43 @@ func (c *compiler) compile(n *Node) (boundNode, error) {
 		op, x, y := n.calc, n.inputs[0], n.inputs[1]
 		return boundNode{n: n, run: func(es *execState, rt ops.Runtime) ([]*columns.Column, error) {
 			return one(rt.CalcBinary(op, es.in(x), es.in(y), d, style))
+		}}, nil
+	case OpSelectStr:
+		d, err := c.outDesc(n.outNames[0])
+		if err != nil {
+			return boundNode{}, err
+		}
+		in := n.inputs[0]
+		if in.node.op != OpScan {
+			return boundNode{}, fmt.Errorf("core: string select %q: input %q is not a base-column scan", n.outNames[0], in.Name())
+		}
+		dd := c.db.Dict(in.node.table, in.node.column)
+		if dd == nil {
+			return boundNode{}, fmt.Errorf("core: string select %q: %s.%s is not a dictionary-encoded string column",
+				n.outNames[0], in.node.table, in.node.column)
+		}
+		table, column := in.node.table, in.node.column
+		kind, sval, svals := n.strKind, n.strVal, n.strVals
+		// The predicate is translated to ID space now, against the dictionary
+		// snapshot at prepare time; executions whose pinned snapshot carries a
+		// different dictionary (new strings appended, or a sorted rebuild
+		// renumbered the IDs) re-translate against theirs — a few map lookups,
+		// so a prepared plan stays valid across ingest and remorph.
+		prepSnap := dd.Snap()
+		prep := translateStrPred(prepSnap, kind, sval, svals)
+		return boundNode{n: n, run: func(es *execState, rt ops.Runtime) ([]*columns.Column, error) {
+			pred := prep
+			if ds := es.snap.Dict(table, column); ds != nil && (ds.Gen() != prepSnap.Gen() || ds.Len() != prepSnap.Len()) {
+				pred = translateStrPred(ds, kind, sval, svals)
+			}
+			switch pred.mode {
+			case strPredEq:
+				return one(rt.SelectAuto(es.in(in), bitutil.CmpEq, pred.id, d, style, specialized))
+			case strPredRange:
+				return one(rt.SelectBetweenAuto(es.in(in), pred.lo, pred.hi, d, style, specialized))
+			default:
+				return one(rt.SelectIn(es.in(in), pred.set, d, style))
+			}
 		}}, nil
 	default:
 		return boundNode{}, fmt.Errorf("core: unknown operator %v", n.op)

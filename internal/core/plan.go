@@ -57,6 +57,10 @@ const (
 	OpSumGrouped
 	// OpCalc combines two columns element-wise.
 	OpCalc
+	// OpSelectStr emits positions matching a string predicate over a
+	// dictionary-encoded column; the predicate is translated to ID space at
+	// prepare time and executed by the integer select kernels.
+	OpSelectStr
 )
 
 var opNames = map[OpKind]string{
@@ -64,7 +68,28 @@ var opNames = map[OpKind]string{
 	OpProject: "project", OpIntersect: "intersect", OpMerge: "merge",
 	OpSemiJoin: "semijoin", OpJoinN1: "join", OpGroupFirst: "group",
 	OpGroupNext: "group_next", OpSumWhole: "sum", OpSumGrouped: "sum_grouped",
-	OpCalc: "calc",
+	OpCalc: "calc", OpSelectStr: "select_str",
+}
+
+// StrPredKind identifies the string-predicate flavor of an OpSelectStr node.
+type StrPredKind uint8
+
+const (
+	// StrEq matches rows whose string equals the predicate value.
+	StrEq StrPredKind = iota
+	// StrIn matches rows whose string is one of the predicate values.
+	StrIn
+	// StrPrefix matches rows whose string starts with the predicate value.
+	StrPrefix
+)
+
+var strPredNames = map[StrPredKind]string{StrEq: "eq", StrIn: "in", StrPrefix: "prefix"}
+
+func (k StrPredKind) String() string {
+	if s, ok := strPredNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("strpred(%d)", uint8(k))
 }
 
 func (k OpKind) String() string {
@@ -84,6 +109,9 @@ type Node struct {
 	val2     uint64
 	table    string
 	column   string
+	strKind  StrPredKind
+	strVal   string
+	strVals  []string
 	inputs   []ColRef
 	outNames []string // one per output
 }
@@ -183,6 +211,28 @@ func (b *Builder) Select(name string, in ColRef, cmp bitutil.CmpKind, val uint64
 // Between emits the positions of in with lo <= element <= hi.
 func (b *Builder) Between(name string, in ColRef, lo, hi uint64) ColRef {
 	return b.add(&Node{op: OpBetween, val: lo, val2: hi, inputs: []ColRef{in}}, name)[0]
+}
+
+// SelectStrEq emits the positions of in — the scan of a dictionary-encoded
+// string column — whose string equals val. The predicate is translated to
+// dictionary-ID space when the plan is prepared and executed by the integer
+// select kernels; preparing fails if in is not the scan of a string column.
+func (b *Builder) SelectStrEq(name string, in ColRef, val string) ColRef {
+	return b.add(&Node{op: OpSelectStr, strKind: StrEq, strVal: val, inputs: []ColRef{in}}, name)[0]
+}
+
+// SelectStrIn emits the positions of in whose string is one of vals, under
+// the same dictionary-translation contract as SelectStrEq.
+func (b *Builder) SelectStrIn(name string, in ColRef, vals ...string) ColRef {
+	return b.add(&Node{op: OpSelectStr, strKind: StrIn, strVals: vals, inputs: []ColRef{in}}, name)[0]
+}
+
+// SelectStrPrefix emits the positions of in whose string starts with prefix,
+// under the same dictionary-translation contract as SelectStrEq. On a
+// sorted dictionary (after a remorph sorted-rebuild) the prefix becomes one
+// contiguous ID range executed by the range-select kernel.
+func (b *Builder) SelectStrPrefix(name string, in ColRef, prefix string) ColRef {
+	return b.add(&Node{op: OpSelectStr, strKind: StrPrefix, strVal: prefix, inputs: []ColRef{in}}, name)[0]
 }
 
 // Project gathers data values at the given positions. The data column is

@@ -9,10 +9,12 @@ import (
 	"morphstore/internal/columns"
 	"morphstore/internal/costmodel"
 	"morphstore/internal/delta"
+	"morphstore/internal/dict"
 	"morphstore/internal/faultpoint"
 	"morphstore/internal/formats"
 	"morphstore/internal/metrics"
 	"morphstore/internal/ops"
+	"morphstore/internal/qerr"
 	"morphstore/internal/stats"
 )
 
@@ -47,6 +49,11 @@ func WithRemorph(threshold float64, interval time.Duration) Option {
 // unchanged. A Snapshot is immutable and safe for concurrent use.
 type Snapshot struct {
 	states map[string]*delta.State
+	// dicts pins, per writable table, the dictionary snapshot of each
+	// dictionary-encoded column. Pinned after the table's state (and with
+	// renumbering excluded by the engine's writable-set lock), each dict
+	// snapshot covers every ID its state contains.
+	dicts map[string]map[string]*dict.Snap
 }
 
 // Epoch returns the pinned delta epoch of a table (0 for tables without a
@@ -75,6 +82,18 @@ func (s *Snapshot) Rows(table string) (n int, ok bool) {
 	return st.Rows(), true
 }
 
+// Dict returns the pinned dictionary snapshot of a dictionary-encoded
+// column, or nil when the table is not writable at this snapshot (callers
+// then read the live dictionary, which is equivalent for read-only tables).
+// Use it to translate a query's result IDs back to strings consistently
+// with the rows the same snapshot serves.
+func (s *Snapshot) Dict(table, column string) *dict.Snap {
+	if s == nil {
+		return nil
+	}
+	return s.dicts[table][column]
+}
+
 // columnOr resolves a scan through the snapshot: writable tables serve the
 // pinned merged main+delta view, everything else the prepare-bound column.
 func (s *Snapshot) columnOr(fallback *columns.Column, table, column string) (*columns.Column, error) {
@@ -93,10 +112,17 @@ func (s *Snapshot) columnOr(fallback *columns.Column, table, column string) (*co
 // it ends at, released when a remorph folds the batch into the main. The
 // mutex guards only resv (the delta store locks itself).
 type writableTable struct {
-	dt *delta.Table
+	dt    *delta.Table
+	dicts map[string]*dict.Dict // the table's string-column dictionaries
 
 	mu   sync.Mutex
 	resv []tailResv
+
+	// ingestMu makes each AppendStrings batch's dictionary translation and
+	// row append atomic with respect to a sorted-rebuild renumbering: the
+	// remorph completion takes it, so no batch can append IDs of the old
+	// numbering after the swap rewrote the tail.
+	ingestMu sync.Mutex
 }
 
 // tailResv is one append batch's governor reservation.
@@ -122,7 +148,7 @@ func (e *Engine) writable(name string) (*writableTable, error) {
 	if err != nil {
 		return nil, err
 	}
-	wt := &writableTable{dt: dt}
+	wt := &writableTable{dt: dt, dicts: t.Dicts}
 	e.wtabs[name] = wt
 	return wt, nil
 }
@@ -140,7 +166,25 @@ func (e *Engine) snapshotOrNil() *Snapshot {
 	for n, wt := range e.wtabs {
 		m[n] = wt.dt.State()
 	}
-	return &Snapshot{states: m}
+	// Dictionary snapshots are pinned after every table state: appends run
+	// dict.Add before delta.Append, so a dict snapshot read later is a
+	// superset of the IDs its state contains; renumbering swaps publish both
+	// sides under e.wmu, which this holds.
+	var dicts map[string]map[string]*dict.Snap
+	for n, wt := range e.wtabs {
+		if len(wt.dicts) == 0 {
+			continue
+		}
+		if dicts == nil {
+			dicts = make(map[string]map[string]*dict.Snap)
+		}
+		ds := make(map[string]*dict.Snap, len(wt.dicts))
+		for cn, d := range wt.dicts {
+			ds[cn] = d.Snap()
+		}
+		dicts[n] = ds
+	}
+	return &Snapshot{states: m, dicts: dicts}
 }
 
 // Snapshot pins the engine's current read view: each writable table at its
@@ -196,6 +240,94 @@ func (e *Engine) Append(ctx context.Context, table string, rows map[string][]uin
 		return err
 	}
 	st, n, err := wt.dt.Append(rows)
+	if err != nil || n == 0 {
+		mres.Release()
+		return err
+	}
+	wt.mu.Lock()
+	wt.resv = append(wt.resv, tailResv{tailEnd: st.TailRows(), r: mres})
+	wt.mu.Unlock()
+	e.counters.appends.Add(1)
+	e.counters.appendedRows.Add(int64(n))
+	return nil
+}
+
+// AppendStrings appends rows that mix plain uint64 columns (nums) and
+// string columns (strs): every string column must be dictionary-encoded
+// (AddStringColumn), its values are translated through the table's
+// dictionary — new strings get fresh IDs in first-occurrence order — and the
+// resulting ID rows append through the same delta path as Append, under the
+// same admission, memory-governor, and Close semantics. nums and strs
+// together must cover exactly the table's columns with equally long slices
+// (ErrInvalidSchema otherwise; the rows are not appended, though novel
+// strings of a failed batch may remain in the dictionary — harmless, they
+// simply match no row). This is the supported append path for tables with
+// string columns: it keeps translation atomic with the row append, so a
+// concurrent remorph sorted-rebuild can never renumber IDs out from under a
+// batch.
+func (e *Engine) AppendStrings(ctx context.Context, table string, nums map[string][]uint64, strs map[string][]string) (err error) {
+	defer e.opGuard("append_strings", &err)
+	if e.err != nil {
+		return e.err
+	}
+	exit, err := e.adm.enter()
+	if err != nil {
+		return err
+	}
+	defer exit()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stopKill := context.AfterFunc(e.killCtx, cancel)
+	defer stopKill()
+	wt, err := e.writable(table)
+	if err != nil {
+		return err
+	}
+	for cn := range strs {
+		if wt.dicts[cn] == nil {
+			return qerr.Tag(fmt.Errorf("core: append to %q: %q is not a dictionary-encoded string column", table, cn), qerr.ErrInvalidSchema)
+		}
+	}
+	nrows := 0
+	for _, vals := range nums {
+		nrows = len(vals)
+		break
+	}
+	for _, vals := range strs {
+		nrows = len(vals)
+		break
+	}
+	if nrows == 0 && len(nums) == 0 && len(strs) == 0 {
+		return nil
+	}
+	// Reserve before taking ingestMu: the reservation may block under memory
+	// pressure and must not hold up a remorph swap while it waits.
+	mres, err := e.gov.Reserve(ctx, int64(nrows)*8*int64(len(nums)+len(strs)), nil)
+	if err != nil {
+		return err
+	}
+	wt.ingestMu.Lock()
+	rows := make(map[string][]uint64, len(nums)+len(strs))
+	for cn, vals := range nums {
+		rows[cn] = vals
+	}
+	for cn, vals := range strs {
+		ids, derr := wt.dicts[cn].Add(vals)
+		if derr != nil {
+			wt.ingestMu.Unlock()
+			mres.Release()
+			return derr
+		}
+		if ids == nil {
+			ids = []uint64{}
+		}
+		rows[cn] = ids
+	}
+	st, n, err := wt.dt.Append(rows)
+	wt.ingestMu.Unlock()
 	if err != nil || n == 0 {
 		mres.Release()
 		return err
@@ -314,6 +446,21 @@ func (e *Engine) remorphTable(ctx context.Context, wt *writableTable) (err error
 			e.counters.remorphFailed.Add(1)
 		}
 	}()
+	// Dictionary columns piggyback a sorted rebuild on the fold: the live ID
+	// values are renumbered into lexicographic order (so prefix predicates
+	// become contiguous ID ranges) before compression, and the renumbered
+	// dictionaries publish atomically with the swap below. Each rebuild is
+	// pinned against a dictionary snapshot taken after s0, which therefore
+	// covers every ID s0 contains.
+	var rebuilds map[string]*dict.Rebuild
+	for cn, d := range wt.dicts {
+		if r := d.BeginSorted(); r != nil {
+			if rebuilds == nil {
+				rebuilds = make(map[string]*dict.Rebuild)
+			}
+			rebuilds[cn] = r
+		}
+	}
 	newMain := make(map[string]*columns.Column, len(wt.dt.Columns()))
 	for _, cn := range wt.dt.Columns() {
 		if err := ctx.Err(); err != nil {
@@ -322,6 +469,9 @@ func (e *Engine) remorphTable(ctx context.Context, wt *writableTable) (err error
 		vals, err := s0.LiveValues(cn)
 		if err != nil {
 			return err
+		}
+		if r := rebuilds[cn]; r != nil {
+			r.RemapAll(vals)
 		}
 		desc := columns.UncomprDesc
 		if len(vals) > 0 {
@@ -338,7 +488,28 @@ func (e *Engine) remorphTable(ctx context.Context, wt *writableTable) (err error
 	if err := hitGuarded(faultpoint.RemorphSwap); err != nil {
 		return err
 	}
-	res, err := wt.dt.CompleteRebuild(s0, newMain)
+	var res delta.SwapResult
+	if len(rebuilds) == 0 {
+		res, err = wt.dt.CompleteRebuild(s0, newMain)
+	} else {
+		// A renumbering swap publishes state and dictionaries atomically:
+		// ingestMu excludes in-flight translate+append batches, e.wmu excludes
+		// snapshot pinning, and the onSwap callback runs under the delta
+		// table's mutex right before the new state is stored.
+		remaps := make(map[string][]uint64, len(rebuilds))
+		for cn, r := range rebuilds {
+			remaps[cn] = r.RemapTable()
+		}
+		wt.ingestMu.Lock()
+		e.wmu.Lock()
+		res, err = wt.dt.CompleteRebuildRemap(s0, newMain, remaps, func() {
+			for cn, r := range rebuilds {
+				wt.dicts[cn].CompleteSorted(r)
+			}
+		})
+		e.wmu.Unlock()
+		wt.ingestMu.Unlock()
+	}
 	if err != nil {
 		return err
 	}

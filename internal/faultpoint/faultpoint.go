@@ -63,9 +63,19 @@ var (
 	// and before the new main is atomically published — a failing hit aborts
 	// the swap and leaves the old state in place.
 	RemorphSwap = newPoint("remorph-swap")
+	// DictPersist fires in Dict.Add after translation and before the fresh
+	// strings are journaled and the new snapshot is published — a failing hit
+	// leaves the dictionary unchanged.
+	DictPersist = newPoint("dict-persist")
+	// DictLookupMiss fires on the slow path of Dict.Add: the first occurrence
+	// of a string not yet in the dictionary, before an ID is assigned.
+	DictLookupMiss = newPoint("dict-lookup-miss")
+	// IngestBatch fires in ingest.Load once per decoded source batch, before
+	// the batch is appended to the engine.
+	IngestBatch = newPoint("ingest-batch")
 )
 
-var points = []*Point{MorselClaim, KernelBody, StitchSeam, ConcatFixup, BudgetRedivide, GroupMerge, AdmissionEnqueue, CloseDrain, AppendLog, DeltaMerge, RemorphSwap}
+var points = []*Point{MorselClaim, KernelBody, StitchSeam, ConcatFixup, BudgetRedivide, GroupMerge, AdmissionEnqueue, CloseDrain, AppendLog, DeltaMerge, RemorphSwap, DictPersist, DictLookupMiss, IngestBatch}
 
 func newPoint(name string) *Point { return &Point{name: name} }
 

@@ -1,0 +1,174 @@
+package ingest
+
+import (
+	"encoding/csv"
+	"errors"
+	"io"
+	"strconv"
+)
+
+// csvSource decodes RFC-4180 CSV: the first record is the header (column
+// names), every later record is one row. Column types are sniffed over the
+// first batch: a column whose every value parses as a decimal uint64 is
+// numeric, anything else is a string column; the decision is fixed from
+// then on, and a later value that no longer fits its column's type is a
+// schema error.
+type csvSource struct {
+	r      *csv.Reader
+	names  []string
+	kinds  []Kind
+	buf    [][]string // rows decoded during the sniff, not yet returned
+	done   bool
+	failed error
+}
+
+// NewCSV returns a Source reading CSV from r. The header row is consumed on
+// the first Next call; empty or duplicate header names, ragged records, and
+// type flips are qerr.ErrInvalidSchema, CSV syntax defects are
+// qerr.ErrCorruptData.
+func NewCSV(r io.Reader) Source {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	return &csvSource{r: cr}
+}
+
+// Schema implements Source.
+func (s *csvSource) Schema() []Column {
+	if s.kinds == nil {
+		return nil
+	}
+	out := make([]Column, len(s.names))
+	for i, n := range s.names {
+		out[i] = Column{Name: n, Kind: s.kinds[i]}
+	}
+	return out
+}
+
+// readRecord pulls one CSV record, mapping the reader's error taxonomy onto
+// the engine's: a wrong field count is a schema defect, any other parse
+// error is corrupt bytes.
+func (s *csvSource) readRecord() ([]string, error) {
+	rec, err := s.r.Read()
+	if err == nil {
+		return rec, nil
+	}
+	if errors.Is(err, io.EOF) {
+		return nil, io.EOF
+	}
+	var perr *csv.ParseError
+	if errors.As(err, &perr) && errors.Is(perr.Err, csv.ErrFieldCount) {
+		return nil, badSchema("csv: line %d: %v", perr.Line, perr.Err)
+	}
+	return nil, corrupt("csv: %v", err)
+}
+
+// header consumes and validates the header row.
+func (s *csvSource) header() error {
+	rec, err := s.readRecord()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return badSchema("csv: empty input (no header)")
+		}
+		return err
+	}
+	seen := make(map[string]struct{}, len(rec))
+	for _, name := range rec {
+		if name == "" {
+			return badSchema("csv: empty column name in header")
+		}
+		if _, dup := seen[name]; dup {
+			return badSchema("csv: duplicate column %q in header", name)
+		}
+		seen[name] = struct{}{}
+	}
+	s.names = rec
+	return nil
+}
+
+// sniff decodes up to max rows and fixes each column's kind.
+func (s *csvSource) sniff(max int) error {
+	for len(s.buf) < max {
+		rec, err := s.readRecord()
+		if errors.Is(err, io.EOF) {
+			s.done = true
+			break
+		}
+		if err != nil {
+			return err
+		}
+		s.buf = append(s.buf, rec)
+	}
+	s.kinds = make([]Kind, len(s.names))
+	for c := range s.names {
+		kind := KindUint
+		for _, rec := range s.buf {
+			if _, err := strconv.ParseUint(rec[c], 10, 64); err != nil {
+				kind = KindString
+				break
+			}
+		}
+		s.kinds[c] = kind
+	}
+	return nil
+}
+
+// Next implements Source.
+func (s *csvSource) Next(max int) (*Batch, error) {
+	if s.failed != nil {
+		return nil, s.failed
+	}
+	fail := func(err error) (*Batch, error) {
+		s.failed = err
+		return nil, err
+	}
+	if max <= 0 {
+		max = 4096
+	}
+	if s.names == nil {
+		if err := s.header(); err != nil {
+			return fail(err)
+		}
+	}
+	if s.kinds == nil {
+		if err := s.sniff(max); err != nil {
+			return fail(err)
+		}
+	}
+	rows := s.buf
+	s.buf = nil
+	for !s.done && len(rows) < max {
+		rec, err := s.readRecord()
+		if errors.Is(err, io.EOF) {
+			s.done = true
+			break
+		}
+		if err != nil {
+			return fail(err)
+		}
+		rows = append(rows, rec)
+	}
+	if len(rows) == 0 {
+		return nil, io.EOF
+	}
+	b := &Batch{Nums: make(map[string][]uint64), Strs: make(map[string][]string)}
+	for c, name := range s.names {
+		if s.kinds[c] == KindString {
+			vals := make([]string, len(rows))
+			for i, rec := range rows {
+				vals[i] = rec[c]
+			}
+			b.Strs[name] = vals
+			continue
+		}
+		vals := make([]uint64, len(rows))
+		for i, rec := range rows {
+			v, err := strconv.ParseUint(rec[c], 10, 64)
+			if err != nil {
+				return fail(badSchema("csv: column %q sniffed numeric but row has %q", name, rec[c]))
+			}
+			vals[i] = v
+		}
+		b.Nums[name] = vals
+	}
+	return b, nil
+}

@@ -1,0 +1,90 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"morphstore/internal/qerr"
+)
+
+// FuzzCSVIngest drives arbitrary bytes through the CSV source: it must never
+// panic, every batch must be rectangular under the sniffed schema, and every
+// failure must match the typed taxonomy (qerr.ErrCorruptData for broken
+// bytes, qerr.ErrInvalidSchema for structural defects).
+func FuzzCSVIngest(f *testing.F) {
+	f.Add([]byte("a,b\n1,x\n2,y\n"))
+	f.Add([]byte("a\n1\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("a,a\n1,2\n"))
+	f.Add([]byte("a,b\n1\n"))
+	f.Add([]byte("a\n\"unterminated\n"))
+	f.Add([]byte("\xff\xfe,b\n1,2\n"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		src := NewCSV(bytes.NewReader(b))
+		for i := 0; i < 64; i++ {
+			batch, err := src.Next(7)
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				if !errors.Is(err, qerr.ErrCorruptData) && !errors.Is(err, qerr.ErrInvalidSchema) {
+					t.Fatalf("non-taxonomy error: %v", err)
+				}
+				// The failure latches.
+				if _, err2 := src.Next(7); !errors.Is(err2, err) {
+					t.Fatalf("error did not latch: %v then %v", err, err2)
+				}
+				return
+			}
+			schema := src.Schema()
+			if len(schema) == 0 {
+				t.Fatal("batch decoded without a schema")
+			}
+			rows := batch.Rows()
+			if rows == 0 || rows > 7 {
+				t.Fatalf("batch has %d rows, max 7", rows)
+			}
+			if len(batch.Nums)+len(batch.Strs) != len(schema) {
+				t.Fatalf("batch has %d columns, schema %d", len(batch.Nums)+len(batch.Strs), len(schema))
+			}
+			for _, c := range schema {
+				if c.Kind == KindString {
+					if len(batch.Strs[c.Name]) != rows {
+						t.Fatalf("column %q ragged", c.Name)
+					}
+				} else if len(batch.Nums[c.Name]) != rows {
+					t.Fatalf("column %q ragged", c.Name)
+				}
+			}
+		}
+	})
+}
+
+// FuzzJSONLinesIngest holds the JSON-lines source to the same contract.
+func FuzzJSONLinesIngest(f *testing.F) {
+	f.Add([]byte("{\"a\": 1, \"b\": \"x\"}\n{\"a\": 2, \"b\": \"y\"}\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("{broken\n"))
+	f.Add([]byte("{\"a\": -1}\n"))
+	f.Add([]byte("[]\n"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		src := NewJSONLines(bytes.NewReader(b))
+		for i := 0; i < 64; i++ {
+			batch, err := src.Next(7)
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				if !errors.Is(err, qerr.ErrCorruptData) && !errors.Is(err, qerr.ErrInvalidSchema) {
+					t.Fatalf("non-taxonomy error: %v", err)
+				}
+				return
+			}
+			if rows := batch.Rows(); rows == 0 || rows > 7 {
+				t.Fatalf("batch has %d rows, max 7", rows)
+			}
+		}
+	})
+}

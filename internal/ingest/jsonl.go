@@ -1,0 +1,183 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// maxJSONLine bounds one JSON-lines record; a longer line is corrupt input,
+// not an allocation demand.
+const maxJSONLine = 1 << 20
+
+// jsonlSource decodes JSON lines: one JSON object per line, empty lines
+// skipped. The first object fixes the schema — its sorted key set and, per
+// key, the sniffed kind (a JSON string is a string column; a JSON number
+// that parses as a uint64 is numeric). Later lines must carry exactly the
+// same keys with conforming values.
+type jsonlSource struct {
+	sc     *bufio.Scanner
+	names  []string
+	kinds  []Kind
+	done   bool
+	failed error
+}
+
+// NewJSONLines returns a Source reading JSON-lines from r. Invalid JSON,
+// a non-object line, or an overlong line is qerr.ErrCorruptData; a value of
+// the wrong type (bool, null, nested, float, negative, missing or extra
+// keys) is qerr.ErrInvalidSchema.
+func NewJSONLines(r io.Reader) Source {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxJSONLine)
+	return &jsonlSource{sc: sc}
+}
+
+// Schema implements Source.
+func (s *jsonlSource) Schema() []Column {
+	if s.kinds == nil {
+		return nil
+	}
+	out := make([]Column, len(s.names))
+	for i, n := range s.names {
+		out[i] = Column{Name: n, Kind: s.kinds[i]}
+	}
+	return out
+}
+
+// readObject decodes the next non-empty line into a flat key→value map.
+func (s *jsonlSource) readObject() (map[string]any, error) {
+	for s.sc.Scan() {
+		line := bytes.TrimSpace(s.sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.UseNumber()
+		var obj map[string]any
+		if err := dec.Decode(&obj); err != nil {
+			return nil, corrupt("jsonl: %v", err)
+		}
+		if obj == nil {
+			return nil, corrupt("jsonl: line is not a JSON object")
+		}
+		var trailing any
+		if err := dec.Decode(&trailing); !errors.Is(err, io.EOF) {
+			return nil, corrupt("jsonl: trailing data after object")
+		}
+		return obj, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return nil, corrupt("jsonl: %v", err)
+	}
+	return nil, io.EOF
+}
+
+// sniffObject fixes the schema from the first object.
+func (s *jsonlSource) sniffObject(obj map[string]any) error {
+	names := make([]string, 0, len(obj))
+	for k := range obj {
+		if k == "" {
+			return badSchema("jsonl: empty key")
+		}
+		names = append(names, k)
+	}
+	if len(names) == 0 {
+		return badSchema("jsonl: first object has no keys")
+	}
+	sort.Strings(names)
+	kinds := make([]Kind, len(names))
+	for i, k := range names {
+		switch v := obj[k].(type) {
+		case string:
+			kinds[i] = KindString
+		case json.Number:
+			if _, err := strconv.ParseUint(v.String(), 10, 64); err != nil {
+				return badSchema("jsonl: key %q: number %v is not a uint64", k, v)
+			}
+			kinds[i] = KindUint
+		default:
+			return badSchema("jsonl: key %q: unsupported value type %T", k, obj[k])
+		}
+	}
+	s.names, s.kinds = names, kinds
+	return nil
+}
+
+// Next implements Source.
+func (s *jsonlSource) Next(max int) (*Batch, error) {
+	if s.failed != nil {
+		return nil, s.failed
+	}
+	fail := func(err error) (*Batch, error) {
+		s.failed = err
+		return nil, err
+	}
+	if max <= 0 {
+		max = 4096
+	}
+	if s.done {
+		return nil, io.EOF
+	}
+	var objs []map[string]any
+	for len(objs) < max {
+		obj, err := s.readObject()
+		if errors.Is(err, io.EOF) {
+			s.done = true
+			break
+		}
+		if err != nil {
+			return fail(err)
+		}
+		if s.kinds == nil {
+			if err := s.sniffObject(obj); err != nil {
+				return fail(err)
+			}
+		}
+		objs = append(objs, obj)
+	}
+	if len(objs) == 0 {
+		return nil, io.EOF
+	}
+	b := &Batch{Nums: make(map[string][]uint64), Strs: make(map[string][]string)}
+	for i, k := range s.names {
+		if s.kinds[i] == KindString {
+			b.Strs[k] = make([]string, len(objs))
+		} else {
+			b.Nums[k] = make([]uint64, len(objs))
+		}
+	}
+	for row, obj := range objs {
+		if len(obj) != len(s.names) {
+			return fail(badSchema("jsonl: object has %d keys, schema has %d", len(obj), len(s.names)))
+		}
+		for i, k := range s.names {
+			v, ok := obj[k]
+			if !ok {
+				return fail(badSchema("jsonl: object is missing key %q", k))
+			}
+			if s.kinds[i] == KindString {
+				str, ok := v.(string)
+				if !ok {
+					return fail(badSchema("jsonl: key %q sniffed string but row has %T", k, v))
+				}
+				b.Strs[k][row] = str
+				continue
+			}
+			num, ok := v.(json.Number)
+			if !ok {
+				return fail(badSchema("jsonl: key %q sniffed numeric but row has %T", k, v))
+			}
+			u, err := strconv.ParseUint(num.String(), 10, 64)
+			if err != nil {
+				return fail(badSchema("jsonl: key %q: number %v is not a uint64", k, num))
+			}
+			b.Nums[k][row] = u
+		}
+	}
+	return b, nil
+}

@@ -363,6 +363,9 @@ type Plan = core.Plan
 // PlanBuilder assembles plans; see core.Builder for the operator vocabulary.
 type PlanBuilder = core.Builder
 
+// ColRef names one intermediate column of a plan under construction.
+type ColRef = core.ColRef
+
 // NewPlanBuilder returns an empty plan builder.
 func NewPlanBuilder() *PlanBuilder { return core.NewBuilder() }
 
